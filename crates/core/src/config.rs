@@ -1,0 +1,140 @@
+//! Configuration of the FlashAbacus device.
+
+use crate::scheduler::SchedulerPolicy;
+use fa_energy::PowerSpec;
+use fa_flash::{FlashGeometry, FlashTiming};
+use fa_platform::PlatformSpec;
+use fa_sim::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Full configuration of a simulated FlashAbacus accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlashAbacusConfig {
+    /// The compute-platform specification (Table 1).
+    pub platform: PlatformSpec,
+    /// Flash backbone geometry.
+    pub flash_geometry: FlashGeometry,
+    /// Flash backbone timing.
+    pub flash_timing: FlashTiming,
+    /// Power figures for the energy model.
+    pub power: PowerSpec,
+    /// The multi-kernel scheduling policy to use.
+    pub scheduler: SchedulerPolicy,
+    /// Bytes covered by one Flashvisor page group (64 KB in the prototype:
+    /// 4 channels × 2 planes × 8 KB, §4.3).
+    pub page_group_bytes: u64,
+    /// Flashvisor LWP cycles spent translating and issuing one page-group
+    /// request (mapping lookup plus request construction).
+    pub flashvisor_request_cycles: u64,
+    /// Flashvisor LWP cycles spent on one scheduling decision (screen or
+    /// kernel dispatch), on top of the hardware message-queue latency.
+    pub scheduling_decision_cycles: u64,
+    /// Aggregate SRIO bandwidth between the network and the flash backbone.
+    pub srio_bytes_per_sec: f64,
+    /// Channel-controller tag-queue depth.
+    pub channel_tag_queue: usize,
+    /// Block erase-endurance budget used by the wear model.
+    pub endurance_cycles: u64,
+    /// Fraction of free page groups below which Storengine starts
+    /// reclaiming blocks.
+    pub gc_low_watermark: f64,
+    /// Interval between Storengine metadata-journaling dumps.
+    pub journal_interval: SimDuration,
+    /// Whether kernel output writes are absorbed by the DDR3L write buffer
+    /// (true in the prototype, §2.2) or must reach flash before a kernel is
+    /// reported complete.
+    pub buffered_writes: bool,
+}
+
+impl FlashAbacusConfig {
+    /// The paper's prototype configuration with the chosen scheduler.
+    pub fn paper_prototype(scheduler: SchedulerPolicy) -> Self {
+        FlashAbacusConfig {
+            platform: PlatformSpec::paper_prototype(),
+            flash_geometry: FlashGeometry::paper_prototype(),
+            flash_timing: FlashTiming::paper_prototype(),
+            power: PowerSpec::paper_prototype(),
+            scheduler,
+            page_group_bytes: 64 * 1024,
+            flashvisor_request_cycles: 350,
+            scheduling_decision_cycles: 600,
+            srio_bytes_per_sec: fa_flash::spec::SRIO_BYTES_PER_SEC,
+            channel_tag_queue: fa_flash::spec::CHANNEL_TAG_QUEUE_DEPTH,
+            endurance_cycles: fa_flash::spec::TLC_ENDURANCE_CYCLES,
+            gc_low_watermark: 0.10,
+            journal_interval: SimDuration::from_ms(100),
+            buffered_writes: true,
+        }
+    }
+
+    /// A small configuration (small flash, fast timings) for unit tests.
+    pub fn tiny_for_tests(scheduler: SchedulerPolicy) -> Self {
+        FlashAbacusConfig {
+            platform: PlatformSpec::paper_prototype(),
+            // 2 channels × 1 die × 128 blocks × 32 pages × 4 KB = 32 MiB:
+            // big enough for the unit-test workloads, small enough that GC
+            // paths are easy to exercise.
+            flash_geometry: FlashGeometry {
+                channels: 2,
+                packages_per_channel: 1,
+                dies_per_package: 1,
+                planes_per_die: 1,
+                blocks_per_plane: 128,
+                pages_per_block: 32,
+                page_bytes: 4096,
+            },
+            flash_timing: FlashTiming::fast_for_tests(),
+            power: PowerSpec::paper_prototype(),
+            scheduler,
+            page_group_bytes: 8 * 1024,
+            flashvisor_request_cycles: 100,
+            scheduling_decision_cycles: 100,
+            srio_bytes_per_sec: 2.5e9,
+            channel_tag_queue: 8,
+            endurance_cycles: 1_000,
+            gc_low_watermark: 0.20,
+            journal_interval: SimDuration::from_ms(1),
+            buffered_writes: true,
+        }
+    }
+
+    /// Number of pages in one page group.
+    pub fn pages_per_group(&self) -> u64 {
+        (self.page_group_bytes / self.flash_geometry.page_bytes as u64).max(1)
+    }
+
+    /// Number of page groups in the whole backbone.
+    pub fn total_page_groups(&self) -> u64 {
+        self.flash_geometry.total_pages() / self.pages_per_group()
+    }
+
+    /// Scratchpad bytes needed by the page-group mapping table (one 4-byte
+    /// entry per group; the paper reports 2 MB for 32 GB at 64 KB groups).
+    pub fn mapping_table_bytes(&self) -> u64 {
+        self.total_page_groups() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_page_group_matches_paper() {
+        let c = FlashAbacusConfig::paper_prototype(SchedulerPolicy::IntraO3);
+        assert_eq!(c.page_group_bytes, 64 * 1024);
+        assert_eq!(c.pages_per_group(), 8);
+        // 32 GB at 64 KB groups = 512 K groups; 4-byte entries = 2 MB, which
+        // is the scratchpad budget quoted in §4.3.
+        assert_eq!(c.total_page_groups(), 512 * 1024);
+        assert_eq!(c.mapping_table_bytes(), 2 * 1024 * 1024);
+        assert!(c.mapping_table_bytes() <= c.platform.scratchpad_bytes as u64);
+    }
+
+    #[test]
+    fn tiny_config_is_consistent() {
+        let c = FlashAbacusConfig::tiny_for_tests(SchedulerPolicy::InterSt);
+        assert!(c.pages_per_group() >= 1);
+        assert!(c.total_page_groups() > 0);
+    }
+}

@@ -1,0 +1,527 @@
+//! Flashvisor: flash virtualization and access control.
+//!
+//! Flashvisor is the LWP that owns the flash backbone. It maps each
+//! kernel's data section to physical flash by grouping pages across
+//! channels and dies into *page groups*, keeps that mapping table in the
+//! scratchpad, translates logical addresses, enforces protection with range
+//! locks, and issues the resulting page commands to the FPGA channel
+//! controllers (§3.3, §4.3). Writes are allocated log-structured: each new
+//! write takes the next free physical page group.
+
+use crate::config::FlashAbacusConfig;
+use crate::error::FaError;
+use crate::rangelock::{LockId, LockMode, RangeLockTable};
+use fa_flash::{FlashBackbone, FlashCommand, PhysicalPageAddr};
+use fa_platform::mem::Scratchpad;
+use fa_sim::resource::FifoServer;
+use fa_sim::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Statistics kept by Flashvisor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FlashvisorStats {
+    /// Page-group read requests translated and issued.
+    pub group_reads: u64,
+    /// Page-group write requests translated and issued.
+    pub group_writes: u64,
+    /// Mapping-table lookups served from the scratchpad.
+    pub mapping_lookups: u64,
+    /// Range-lock acquisitions granted.
+    pub lock_grants: u64,
+    /// Range-lock acquisitions denied.
+    pub lock_denials: u64,
+    /// Page groups whose old physical location was invalidated by an
+    /// overwrite.
+    pub overwritten_groups: u64,
+}
+
+/// Completion information for a data-section transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferCompletion {
+    /// When the request was accepted by Flashvisor.
+    pub accepted: SimTime,
+    /// When the last page of the transfer completed on the backbone.
+    pub finished: SimTime,
+    /// Page groups touched.
+    pub groups: u64,
+}
+
+impl TransferCompletion {
+    /// End-to-end latency of the transfer.
+    pub fn latency(&self) -> SimDuration {
+        self.finished.saturating_since(self.accepted)
+    }
+}
+
+/// The flash-virtualization LWP.
+pub struct Flashvisor {
+    config: FlashAbacusConfig,
+    backbone: FlashBackbone,
+    /// Logical page group → physical page group.
+    mapping: Vec<Option<u64>>,
+    /// Physical groups handed out so far (log-structured cursor).
+    next_physical_group: u64,
+    /// Physical groups freed by GC, reusable before advancing the cursor.
+    free_groups: VecDeque<u64>,
+    locks: RangeLockTable,
+    /// Flashvisor's own LWP time: translations and scheduling decisions
+    /// serialize here.
+    cpu: FifoServer,
+    /// Mapping-table entries modified since the last Storengine journal
+    /// dump (incremental journaling writes only these).
+    dirty_mapping_entries: u64,
+    stats: FlashvisorStats,
+}
+
+impl Flashvisor {
+    /// Creates a Flashvisor owning a freshly built backbone.
+    pub fn new(config: FlashAbacusConfig) -> Self {
+        let backbone = FlashBackbone::new(
+            config.flash_geometry,
+            config.flash_timing,
+            config.srio_bytes_per_sec,
+            config.channel_tag_queue,
+            config.endurance_cycles,
+        );
+        let total_groups = config.total_page_groups();
+        Flashvisor {
+            config,
+            backbone,
+            mapping: vec![None; total_groups as usize],
+            next_physical_group: 0,
+            free_groups: VecDeque::new(),
+            locks: RangeLockTable::new(),
+            cpu: FifoServer::new("flashvisor"),
+            dirty_mapping_entries: 0,
+            stats: FlashvisorStats::default(),
+        }
+    }
+
+    /// The configuration this Flashvisor was built with.
+    pub fn config(&self) -> &FlashAbacusConfig {
+        &self.config
+    }
+
+    /// Immutable access to the backbone (reports, GC victim inspection).
+    pub fn backbone(&self) -> &FlashBackbone {
+        &self.backbone
+    }
+
+    /// Mutable access to the backbone (used by Storengine).
+    pub fn backbone_mut(&mut self) -> &mut FlashBackbone {
+        &mut self.backbone
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> FlashvisorStats {
+        self.stats
+    }
+
+    /// Number of physical page groups not yet allocated.
+    pub fn free_physical_groups(&self) -> u64 {
+        let total = self.config.total_page_groups();
+        total - self.next_physical_group + self.free_groups.len() as u64
+    }
+
+    /// Fraction of physical page groups still free.
+    pub fn free_fraction(&self) -> f64 {
+        self.free_physical_groups() as f64 / self.config.total_page_groups() as f64
+    }
+
+    /// Busy fraction of the Flashvisor LWP up to `now`.
+    pub fn cpu_utilization(&self, now: SimTime) -> f64 {
+        self.cpu.utilization(now)
+    }
+
+    /// Total busy time of the Flashvisor LWP up to `now`.
+    pub fn cpu_busy_time(&self, now: SimTime) -> SimDuration {
+        self.cpu.busy_time(now)
+    }
+
+    /// Logical page-group index covering logical byte address `addr`.
+    fn logical_group_of(&self, addr: u64) -> u64 {
+        addr / self.config.page_group_bytes
+    }
+
+    /// Number of page groups covering the byte range `[start, start+len)`.
+    fn groups_covering(&self, start: u64, len: u64) -> (u64, u64) {
+        if len == 0 {
+            let g = self.logical_group_of(start);
+            return (g, g);
+        }
+        let first = self.logical_group_of(start);
+        let last = self.logical_group_of(start + len - 1);
+        (first, last)
+    }
+
+    /// Charges Flashvisor CPU time for one unit of work of `cycles` cycles
+    /// starting no earlier than `now`, returning when that work is done.
+    fn charge_cpu(&mut self, now: SimTime, cycles: u64) -> SimTime {
+        let per_cycle_ns = 1.0e9 / self.config.platform.lwp_freq_hz as f64;
+        let dur = SimDuration::from_ns_f64(cycles as f64 * per_cycle_ns);
+        self.cpu.serve(now, dur).end
+    }
+
+    /// Charges one scheduling decision (used by the system driver so that
+    /// scheduling overhead lands on the Flashvisor LWP as the paper
+    /// describes).
+    pub fn charge_scheduling_decision(&mut self, now: SimTime) -> SimTime {
+        self.charge_cpu(now, self.config.scheduling_decision_cycles)
+    }
+
+    /// Acquires the range lock protecting a data-section mapping.
+    pub fn map_section(
+        &mut self,
+        start: u64,
+        len: u64,
+        mode: LockMode,
+        owner: u32,
+    ) -> Result<LockId, FaError> {
+        let end = start + len.max(1);
+        match self.locks.try_acquire(start, end, mode, owner) {
+            Some(id) => {
+                self.stats.lock_grants += 1;
+                Ok(id)
+            }
+            None => {
+                self.stats.lock_denials += 1;
+                Err(FaError::RangeConflict {
+                    range: (start, end),
+                })
+            }
+        }
+    }
+
+    /// Releases a data-section mapping.
+    pub fn unmap_section(&mut self, lock: LockId) {
+        self.locks.release(lock);
+    }
+
+    /// Releases every mapping owned by `owner`.
+    pub fn unmap_owner(&mut self, owner: u32) {
+        self.locks.release_owner(owner);
+    }
+
+    /// Access to the lock table (ablation experiments).
+    pub fn locks(&self) -> &RangeLockTable {
+        &self.locks
+    }
+
+    fn allocate_physical_group(&mut self) -> Result<u64, FaError> {
+        if let Some(g) = self.free_groups.pop_front() {
+            return Ok(g);
+        }
+        if self.next_physical_group >= self.config.total_page_groups() {
+            return Err(FaError::OutOfFlashSpace {
+                requested: 1,
+                available: 0,
+            });
+        }
+        let g = self.next_physical_group;
+        self.next_physical_group += 1;
+        Ok(g)
+    }
+
+    /// Looks up the mapping slot of a logical group, rejecting addresses
+    /// beyond the virtualized capacity.
+    fn logical_slot(&self, logical_group: u64) -> Result<Option<u64>, FaError> {
+        self.mapping
+            .get(logical_group as usize)
+            .copied()
+            .ok_or(FaError::UnmappedAddress(
+                logical_group * self.config.page_group_bytes,
+            ))
+    }
+
+    /// Returns the physical pages of physical group `group`.
+    fn group_pages(&self, group: u64) -> Vec<PhysicalPageAddr> {
+        let pages = self.config.pages_per_group();
+        (0..pages)
+            .map(|i| {
+                self.config
+                    .flash_geometry
+                    .flat_to_addr(group * pages + i)
+            })
+            .collect()
+    }
+
+    /// Pre-populates the mapping and backbone for a logical byte range, as
+    /// if a host had written the input data before the experiment started.
+    /// Consumes no simulated time.
+    pub fn preload_range(&mut self, start: u64, len: u64) -> Result<(), FaError> {
+        if len == 0 {
+            return Ok(());
+        }
+        let (first, last) = self.groups_covering(start, len);
+        for lg in first..=last {
+            if self.logical_slot(lg)?.is_some() {
+                continue;
+            }
+            let pg = self.allocate_physical_group()?;
+            for addr in self.group_pages(pg) {
+                self.backbone.preload(addr)?;
+            }
+            self.mapping[lg as usize] = Some(pg);
+        }
+        Ok(())
+    }
+
+    /// Reads the logical byte range `[start, start+len)` of a data section
+    /// into DDR3L: translation on the Flashvisor LWP followed by page reads
+    /// on the backbone. Returns when the last page arrives.
+    pub fn read_section(
+        &mut self,
+        now: SimTime,
+        start: u64,
+        len: u64,
+        scratchpad: &mut Scratchpad,
+    ) -> Result<TransferCompletion, FaError> {
+        if len == 0 {
+            return Ok(TransferCompletion {
+                accepted: now,
+                finished: now,
+                groups: 0,
+            });
+        }
+        let (first, last) = self.groups_covering(start, len);
+        let mut finished = now;
+        let mut cursor = now;
+        for lg in first..=last {
+            // Mapping lookup: scratchpad access + Flashvisor cycles.
+            scratchpad.access(cursor, lg * 4, 4);
+            cursor = self.charge_cpu(cursor, self.config.flashvisor_request_cycles);
+            self.stats.mapping_lookups += 1;
+            let pg = self.logical_slot(lg)?.ok_or(FaError::UnmappedAddress(
+                lg * self.config.page_group_bytes,
+            ))?;
+            for addr in self.group_pages(pg) {
+                let completion = self.backbone.submit(cursor, FlashCommand::read(addr))?;
+                finished = finished.max(completion.finished);
+            }
+            self.stats.group_reads += 1;
+        }
+        Ok(TransferCompletion {
+            accepted: now,
+            finished,
+            groups: last - first + 1,
+        })
+    }
+
+    /// Writes the logical byte range `[start, start+len)` back to flash:
+    /// log-structured allocation of new physical groups, page programs, and
+    /// invalidation of any overwritten groups.
+    pub fn write_section(
+        &mut self,
+        now: SimTime,
+        start: u64,
+        len: u64,
+        scratchpad: &mut Scratchpad,
+    ) -> Result<TransferCompletion, FaError> {
+        if len == 0 {
+            return Ok(TransferCompletion {
+                accepted: now,
+                finished: now,
+                groups: 0,
+            });
+        }
+        let (first, last) = self.groups_covering(start, len);
+        let mut finished = now;
+        let mut cursor = now;
+        for lg in first..=last {
+            scratchpad.access(cursor, lg * 4, 4);
+            cursor = self.charge_cpu(cursor, self.config.flashvisor_request_cycles);
+            self.stats.mapping_lookups += 1;
+            // Invalidate the previous location, if any.
+            if let Some(old) = self.logical_slot(lg)? {
+                for addr in self.group_pages(old) {
+                    // An unwritten trailing page of a partially used group is
+                    // not an error worth surfacing here.
+                    let _ = self.backbone.invalidate(addr);
+                }
+                self.stats.overwritten_groups += 1;
+            }
+            let pg = self.allocate_physical_group()?;
+            for addr in self.group_pages(pg) {
+                let completion = self.backbone.submit(cursor, FlashCommand::program(addr))?;
+                finished = finished.max(completion.finished);
+            }
+            self.mapping[lg as usize] = Some(pg);
+            self.dirty_mapping_entries += 1;
+            self.stats.group_writes += 1;
+        }
+        Ok(TransferCompletion {
+            accepted: now,
+            finished,
+            groups: last - first + 1,
+        })
+    }
+
+    /// Looks up the physical group a logical group maps to (Storengine uses
+    /// this while migrating valid pages).
+    pub fn physical_group_of(&self, logical_group: u64) -> Option<u64> {
+        self.mapping.get(logical_group as usize).copied().flatten()
+    }
+
+    /// Remaps a logical group to a new physical group (GC migration) and
+    /// returns the previous physical group.
+    pub fn remap_group(&mut self, logical_group: u64, new_physical: u64) -> Option<u64> {
+        let slot = self.mapping.get_mut(logical_group as usize)?;
+        self.dirty_mapping_entries += 1;
+        slot.replace(new_physical)
+    }
+
+    /// Number of mapping entries modified since the last journal dump, and
+    /// resets the counter (called by Storengine when it snapshots).
+    pub fn take_dirty_mapping_entries(&mut self) -> u64 {
+        std::mem::take(&mut self.dirty_mapping_entries)
+    }
+
+    /// Number of mapping entries modified since the last journal dump.
+    pub fn dirty_mapping_entries(&self) -> u64 {
+        self.dirty_mapping_entries
+    }
+
+    /// Iterates over `(logical, physical)` pairs currently mapped.
+    pub fn mapped_groups(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.mapping
+            .iter()
+            .enumerate()
+            .filter_map(|(lg, pg)| pg.map(|p| (lg as u64, p)))
+    }
+
+    /// Hands a reclaimed physical group back to the allocator.
+    pub fn recycle_group(&mut self, physical_group: u64) {
+        self.free_groups.push_back(physical_group);
+    }
+
+    /// Allocates a physical page group on behalf of Storengine's valid-page
+    /// migration (same allocator as the write path, but without charging
+    /// Flashvisor statistics or CPU time — migration is Storengine's work).
+    pub fn allocate_group_for_gc(&mut self) -> Option<u64> {
+        self.allocate_physical_group().ok()
+    }
+
+    /// Size of the mapping table in bytes (scratchpad footprint).
+    pub fn mapping_table_bytes(&self) -> u64 {
+        self.config.mapping_table_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::SchedulerPolicy;
+    use fa_platform::PlatformSpec;
+
+    fn visor() -> (Flashvisor, Scratchpad) {
+        let config = FlashAbacusConfig::tiny_for_tests(SchedulerPolicy::IntraO3);
+        (
+            Flashvisor::new(config),
+            Scratchpad::new(&PlatformSpec::paper_prototype()),
+        )
+    }
+
+    #[test]
+    fn preload_then_read_round_trips() {
+        let (mut v, mut sp) = visor();
+        v.preload_range(0, 64 * 1024).unwrap();
+        let t = v.read_section(SimTime::ZERO, 0, 64 * 1024, &mut sp).unwrap();
+        assert!(t.finished > SimTime::ZERO);
+        assert_eq!(t.groups, 8); // 64 KB at 8 KB groups in the tiny config.
+        assert_eq!(v.stats().group_reads, 8);
+        assert!(v.stats().mapping_lookups >= 8);
+    }
+
+    #[test]
+    fn read_of_unmapped_range_fails() {
+        let (mut v, mut sp) = visor();
+        let err = v
+            .read_section(SimTime::ZERO, 1 << 20, 4096, &mut sp)
+            .unwrap_err();
+        assert!(matches!(err, FaError::UnmappedAddress(_)));
+    }
+
+    #[test]
+    fn writes_allocate_log_structured_groups_and_invalidate_old() {
+        let (mut v, mut sp) = visor();
+        let before = v.free_physical_groups();
+        v.write_section(SimTime::ZERO, 0, 16 * 1024, &mut sp).unwrap();
+        assert_eq!(v.free_physical_groups(), before - 2);
+        // Overwriting the same logical range allocates fresh groups and
+        // invalidates the old ones.
+        v.write_section(SimTime::from_ms(50), 0, 16 * 1024, &mut sp)
+            .unwrap();
+        assert_eq!(v.free_physical_groups(), before - 4);
+        assert_eq!(v.stats().overwritten_groups, 2);
+        assert_eq!(v.stats().group_writes, 4);
+    }
+
+    #[test]
+    fn mapping_survives_and_is_remappable() {
+        let (mut v, mut sp) = visor();
+        v.write_section(SimTime::ZERO, 0, 8 * 1024, &mut sp).unwrap();
+        let pg = v.physical_group_of(0).unwrap();
+        let old = v.remap_group(0, pg + 100).unwrap();
+        assert_eq!(old, pg);
+        assert_eq!(v.physical_group_of(0), Some(pg + 100));
+        assert_eq!(v.mapped_groups().count(), 1);
+    }
+
+    #[test]
+    fn range_locks_gate_conflicting_sections() {
+        let (mut v, _sp) = visor();
+        let a = v.map_section(0, 4096, LockMode::Write, 1).unwrap();
+        let err = v.map_section(1024, 4096, LockMode::Read, 2).unwrap_err();
+        assert!(matches!(err, FaError::RangeConflict { .. }));
+        assert_eq!(v.stats().lock_denials, 1);
+        v.unmap_section(a);
+        assert!(v.map_section(1024, 4096, LockMode::Read, 2).is_ok());
+    }
+
+    #[test]
+    fn flashvisor_cpu_serializes_requests() {
+        let (mut v, mut sp) = visor();
+        v.preload_range(0, 256 * 1024).unwrap();
+        let a = v.read_section(SimTime::ZERO, 0, 128 * 1024, &mut sp).unwrap();
+        let b = v
+            .read_section(SimTime::ZERO, 128 * 1024, 128 * 1024, &mut sp)
+            .unwrap();
+        // The second request's translation work queues behind the first on
+        // the Flashvisor LWP, so it cannot finish earlier.
+        assert!(b.finished >= a.finished);
+        assert!(v.cpu_utilization(b.finished) > 0.0);
+    }
+
+    #[test]
+    fn free_space_accounting_and_exhaustion() {
+        let config = FlashAbacusConfig::tiny_for_tests(SchedulerPolicy::InterDy);
+        let total = config.total_page_groups();
+        let mut v = Flashvisor::new(config);
+        let mut sp = Scratchpad::new(&PlatformSpec::paper_prototype());
+        assert_eq!(v.free_physical_groups(), total);
+        // Fill the whole logical space, consuming every physical group.
+        let group_bytes = config.page_group_bytes;
+        v.write_section(SimTime::ZERO, 0, total * group_bytes, &mut sp)
+            .unwrap();
+        assert_eq!(v.free_physical_groups(), 0);
+        // Overwriting any group now needs a fresh physical group and fails.
+        let res = v.write_section(SimTime::from_ms(1), 0, group_bytes, &mut sp);
+        assert!(matches!(res, Err(FaError::OutOfFlashSpace { .. })));
+        // Addresses beyond the virtualized capacity are reported as unmapped.
+        let res = v.write_section(SimTime::from_ms(2), total * group_bytes, 1, &mut sp);
+        assert!(matches!(res, Err(FaError::UnmappedAddress(_))));
+        // Recycling a group makes one write possible again.
+        v.recycle_group(0);
+        assert_eq!(v.free_physical_groups(), 1);
+    }
+
+    #[test]
+    fn scheduling_decisions_consume_flashvisor_time() {
+        let (mut v, _sp) = visor();
+        let t1 = v.charge_scheduling_decision(SimTime::ZERO);
+        let t2 = v.charge_scheduling_decision(SimTime::ZERO);
+        assert!(t1 > SimTime::ZERO);
+        assert!(t2 > t1);
+    }
+}

@@ -1,0 +1,235 @@
+//! Result types produced by full-system runs.
+//!
+//! Every figure of the evaluation is a projection of these records:
+//! throughput (Figure 10, 16a), per-kernel latency statistics and CDFs
+//! (Figures 11 and 12), energy breakdowns (Figures 3e, 13, 16b), LWP
+//! utilization (Figure 14), and the function-unit / power timelines
+//! (Figure 15).
+
+use crate::scheduler::SchedulerPolicy;
+use fa_energy::EnergyBreakdown;
+use fa_sim::stats::{Histogram, TimeSeries};
+use fa_sim::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Latency record for one kernel of the offloaded batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelLatency {
+    /// Name of the application instance (benchmark name).
+    pub app_name: String,
+    /// Application index in the batch.
+    pub app_index: usize,
+    /// Kernel index within the application.
+    pub kernel_index: usize,
+    /// When the kernel became eligible to run (end of its offload).
+    pub offloaded_at: SimTime,
+    /// When the kernel's last screen finished.
+    pub completed_at: SimTime,
+}
+
+impl KernelLatency {
+    /// The latency the paper reports: offload-to-completion.
+    pub fn latency(&self) -> SimDuration {
+        self.completed_at.saturating_since(self.offloaded_at)
+    }
+}
+
+/// Energy totals of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergySummary {
+    /// The three-way breakdown plus idle floor.
+    pub breakdown: EnergyBreakdown,
+}
+
+impl EnergySummary {
+    /// Total joules.
+    pub fn total_j(&self) -> f64 {
+        self.breakdown.total_j()
+    }
+}
+
+/// Outcome of one full-system run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunOutcome {
+    /// Which scheduler produced this outcome.
+    pub scheduler: SchedulerPolicy,
+    /// When the last kernel (and, for unbuffered writes, the last flash
+    /// write) completed.
+    pub finished_at: SimTime,
+    /// Per-kernel completion records, in offload order.
+    pub kernel_latencies: Vec<KernelLatency>,
+    /// Total bytes of input read plus output produced across the batch.
+    pub bytes_processed: u64,
+    /// Energy summary over the run.
+    pub energy: EnergySummary,
+    /// Per-worker-LWP busy fraction over the run.
+    pub worker_utilization: Vec<f64>,
+    /// Busy fraction of the Flashvisor LWP.
+    pub flashvisor_utilization: f64,
+    /// Busy fraction of the Storengine LWP.
+    pub storengine_utilization: f64,
+    /// Total busy functional units across all workers, sampled over time
+    /// (Figure 15a).
+    pub fu_timeline: TimeSeries,
+    /// Instantaneous power over time (Figure 15b).
+    pub power_timeline: TimeSeries,
+    /// Page-group reads issued by Flashvisor.
+    pub flash_group_reads: u64,
+    /// Page-group writes issued by Flashvisor.
+    pub flash_group_writes: u64,
+    /// Garbage-collection passes run by Storengine.
+    pub gc_passes: u64,
+    /// Metadata journal dumps run by Storengine.
+    pub journal_dumps: u64,
+}
+
+impl RunOutcome {
+    /// Aggregate data-processing throughput in MB/s (the metric of
+    /// Figures 10 and 16a): bytes processed divided by total execution time.
+    pub fn throughput_mb_s(&self) -> f64 {
+        let secs = self.finished_at.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.bytes_processed as f64 / 1.0e6 / secs
+    }
+
+    /// Mean worker-LWP utilization (Figure 14's metric).
+    pub fn mean_worker_utilization(&self) -> f64 {
+        if self.worker_utilization.is_empty() {
+            return 0.0;
+        }
+        self.worker_utilization.iter().sum::<f64>() / self.worker_utilization.len() as f64
+    }
+
+    /// Kernel latency statistics: (min, average, max), in seconds
+    /// (Figure 11's metric).
+    pub fn latency_stats(&self) -> (f64, f64, f64) {
+        if self.kernel_latencies.is_empty() {
+            return (0.0, 0.0, 0.0);
+        }
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        let mut sum = 0.0;
+        for k in &self.kernel_latencies {
+            let l = k.latency().as_secs_f64();
+            min = min.min(l);
+            max = max.max(l);
+            sum += l;
+        }
+        (min, sum / self.kernel_latencies.len() as f64, max)
+    }
+
+    /// Empirical CDF of kernel completion times in seconds (Figure 12's
+    /// metric): completion instants sorted ascending with their cumulative
+    /// count.
+    pub fn completion_cdf(&self) -> Vec<(f64, usize)> {
+        let mut times: Vec<f64> = self
+            .kernel_latencies
+            .iter()
+            .map(|k| k.completed_at.as_secs_f64())
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite completion times"));
+        times
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| (t, i + 1))
+            .collect()
+    }
+
+    /// Kernel latencies as a histogram (for quantile queries).
+    pub fn latency_histogram(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for k in &self.kernel_latencies {
+            h.record(k.latency().as_secs_f64());
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fa_energy::EnergyBreakdown;
+
+    fn outcome() -> RunOutcome {
+        RunOutcome {
+            scheduler: SchedulerPolicy::IntraO3,
+            finished_at: SimTime::from_ms(100),
+            kernel_latencies: vec![
+                KernelLatency {
+                    app_name: "A".into(),
+                    app_index: 0,
+                    kernel_index: 0,
+                    offloaded_at: SimTime::from_ms(1),
+                    completed_at: SimTime::from_ms(41),
+                },
+                KernelLatency {
+                    app_name: "B".into(),
+                    app_index: 1,
+                    kernel_index: 0,
+                    offloaded_at: SimTime::from_ms(2),
+                    completed_at: SimTime::from_ms(100),
+                },
+            ],
+            bytes_processed: 50 * 1_000_000,
+            energy: EnergySummary {
+                breakdown: EnergyBreakdown {
+                    data_movement_j: 1.0,
+                    computation_j: 2.0,
+                    storage_access_j: 3.0,
+                    idle_j: 0.5,
+                },
+            },
+            worker_utilization: vec![0.5, 0.7, 0.9],
+            flashvisor_utilization: 0.2,
+            storengine_utilization: 0.1,
+            fu_timeline: TimeSeries::new(),
+            power_timeline: TimeSeries::new(),
+            flash_group_reads: 10,
+            flash_group_writes: 5,
+            gc_passes: 0,
+            journal_dumps: 1,
+        }
+    }
+
+    #[test]
+    fn throughput_is_bytes_over_time() {
+        let o = outcome();
+        // 50 MB in 0.1 s = 500 MB/s.
+        assert!((o.throughput_mb_s() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_stats_and_cdf() {
+        let o = outcome();
+        let (min, avg, max) = o.latency_stats();
+        assert!((min - 0.040).abs() < 1e-9);
+        assert!((max - 0.098).abs() < 1e-9);
+        assert!((avg - 0.069).abs() < 1e-9);
+        let cdf = o.completion_cdf();
+        assert_eq!(cdf.len(), 2);
+        assert_eq!(cdf[0].1, 1);
+        assert_eq!(cdf[1].1, 2);
+        assert!(cdf[0].0 < cdf[1].0);
+    }
+
+    #[test]
+    fn utilization_and_energy_aggregate() {
+        let o = outcome();
+        assert!((o.mean_worker_utilization() - 0.7).abs() < 1e-9);
+        assert!((o.energy.total_j() - 6.5).abs() < 1e-12);
+        let mut h = o.latency_histogram();
+        assert_eq!(h.quantile(1.0), Some(0.098));
+    }
+
+    #[test]
+    fn empty_outcome_is_safe() {
+        let mut o = outcome();
+        o.kernel_latencies.clear();
+        o.worker_utilization.clear();
+        assert_eq!(o.latency_stats(), (0.0, 0.0, 0.0));
+        assert_eq!(o.mean_worker_utilization(), 0.0);
+        assert!(o.completion_cdf().is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! Conventional heterogeneous-computing baseline ("SIMD").
+//!
+//! The paper compares FlashAbacus against the standard way of accelerating
+//! data-intensive workloads on a low-power platform: the accelerator keeps
+//! its data on a *discrete* NVMe SSD, and every byte the kernels touch must
+//! travel SSD → host storage stack → host DRAM → PCIe → accelerator DRAM
+//! (and back for results). The accelerator itself runs an OpenMP-style
+//! single-instruction-multiple-data execution: one kernel at a time, its
+//! parallel regions spread across all eight LWPs and its serial regions on
+//! one (§5 "Accelerators", Figure 1, Figure 3).
+//!
+//! * [`config`] — the baseline system configuration.
+//! * [`ssd`] — the discrete NVMe SSD model.
+//! * [`hoststack`] — the host storage software stack: per-request CPU
+//!   overhead, user/kernel crossings, and the redundant copies through host
+//!   DRAM.
+//! * [`accelerator`] — the OpenMP/SIMD execution model on the LWP platform.
+//! * [`system`] — the full conventional-system driver.
+//! * [`metrics`] — the outcome type (throughput, latency, energy, and the
+//!   accelerator/SSD/host-stack time decomposition of Figure 3d).
+
+pub mod accelerator;
+pub mod config;
+pub mod hoststack;
+pub mod metrics;
+pub mod ssd;
+pub mod system;
+
+pub use accelerator::SimdAccelerator;
+pub use config::BaselineConfig;
+pub use hoststack::HostStorageStack;
+pub use metrics::{BaselineOutcome, TimeBreakdown};
+pub use ssd::NvmeSsd;
+pub use system::ConventionalSystem;

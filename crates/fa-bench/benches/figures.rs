@@ -1,0 +1,41 @@
+//! Criterion benchmarks of representative figure regenerations at a coarse
+//! data scale (these exercise the full five-system comparison end to end).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fa_bench::runner::{homogeneous_workload, run_on, ExperimentScale, SystemKind};
+use fa_workloads::polybench::PolyBench;
+use flashabacus::SchedulerPolicy;
+
+fn bench_representative_runs(c: &mut Criterion) {
+    let scale = ExperimentScale { data_scale: 512 };
+    let atax = homogeneous_workload(PolyBench::Atax, scale);
+    let gemm = homogeneous_workload(PolyBench::Gemm, scale);
+
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig10a/ATAX/SIMD", |b| {
+        b.iter(|| criterion::black_box(run_on(SystemKind::Simd, "ATAX", &atax)))
+    });
+    group.bench_function("fig10a/ATAX/IntraO3", |b| {
+        b.iter(|| {
+            criterion::black_box(run_on(
+                SystemKind::FlashAbacus(SchedulerPolicy::IntraO3),
+                "ATAX",
+                &atax,
+            ))
+        })
+    });
+    group.bench_function("fig10a/GEMM/InterDy", |b| {
+        b.iter(|| {
+            criterion::black_box(run_on(
+                SystemKind::FlashAbacus(SchedulerPolicy::InterDy),
+                "GEMM",
+                &gemm,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_representative_runs);
+criterion_main!(benches);

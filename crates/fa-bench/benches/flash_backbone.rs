@@ -1,0 +1,41 @@
+//! Criterion benchmarks of the flash backbone: sequential and
+//! channel-parallel page traffic through the FPGA controllers.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fa_flash::{FlashBackbone, FlashCommand, FlashGeometry, FlashTiming};
+use fa_sim::time::SimTime;
+
+fn backbone() -> FlashBackbone {
+    FlashBackbone::new(
+        FlashGeometry::tiny_for_tests(),
+        FlashTiming::fast_for_tests(),
+        2.5e9,
+        16,
+        10_000,
+    )
+}
+
+fn bench_programs_and_reads(c: &mut Criterion) {
+    c.bench_function("backbone/program_then_read_64_pages", |b| {
+        b.iter_batched(
+            backbone,
+            |mut bb| {
+                let geometry = *bb.geometry();
+                let mut t = SimTime::ZERO;
+                for flat in 0..64u64 {
+                    let addr = geometry.flat_to_addr(flat);
+                    t = bb.submit(t, FlashCommand::program(addr)).unwrap().finished;
+                }
+                for flat in 0..64u64 {
+                    let addr = geometry.flat_to_addr(flat);
+                    t = bb.submit(t, FlashCommand::read(addr)).unwrap().finished;
+                }
+                criterion::black_box(t)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_programs_and_reads);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion micro-benchmarks of the Flashvisor critical path: address
+//! translation for page-group reads/writes and range-lock operations.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fa_platform::mem::Scratchpad;
+use fa_platform::PlatformSpec;
+use fa_sim::time::SimTime;
+use flashabacus::config::FlashAbacusConfig;
+use flashabacus::rangelock::{LockMode, RangeLockTable};
+use flashabacus::scheduler::SchedulerPolicy;
+use flashabacus::Flashvisor;
+
+fn bench_read_translation(c: &mut Criterion) {
+    c.bench_function("flashvisor/read_section_1MiB", |b| {
+        b.iter_batched(
+            || {
+                let mut v =
+                    Flashvisor::new(FlashAbacusConfig::tiny_for_tests(SchedulerPolicy::IntraO3));
+                v.preload_range(0, 1 << 20).unwrap();
+                (v, Scratchpad::new(&PlatformSpec::paper_prototype()))
+            },
+            |(mut v, mut sp)| {
+                v.read_section(SimTime::ZERO, 0, 1 << 20, &mut sp).unwrap();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_write_allocation(c: &mut Criterion) {
+    c.bench_function("flashvisor/write_section_1MiB", |b| {
+        b.iter_batched(
+            || {
+                (
+                    Flashvisor::new(FlashAbacusConfig::tiny_for_tests(SchedulerPolicy::IntraO3)),
+                    Scratchpad::new(&PlatformSpec::paper_prototype()),
+                )
+            },
+            |(mut v, mut sp)| {
+                v.write_section(SimTime::ZERO, 0, 1 << 20, &mut sp).unwrap();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_range_locks(c: &mut Criterion) {
+    c.bench_function("rangelock/acquire_release_1000_disjoint", |b| {
+        b.iter(|| {
+            let mut table = RangeLockTable::new();
+            let mut ids = Vec::with_capacity(1000);
+            for i in 0..1000u64 {
+                ids.push(
+                    table
+                        .try_acquire(i * 4096, (i + 1) * 4096, LockMode::Read, i as u32)
+                        .expect("disjoint ranges always succeed"),
+                );
+            }
+            for id in ids {
+                table.release(id);
+            }
+        })
+    });
+    c.bench_function("rangelock/conflict_scan_under_contention", |b| {
+        let mut table = RangeLockTable::new();
+        for i in 0..512u64 {
+            table
+                .try_acquire(i * 8192, i * 8192 + 4096, LockMode::Read, i as u32)
+                .unwrap();
+        }
+        b.iter(|| {
+            // A writer probing the middle of a busy table.
+            criterion::black_box(table.find_conflict(2_000_000, 2_004_096, LockMode::Write))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_read_translation,
+    bench_write_allocation,
+    bench_range_locks
+);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benchmarks of the four scheduling policies on a small mixed
+//! workload (scheduler decision cost plus full-system run time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fa_kernel::instance::{instantiate_many, InstancePlan};
+use fa_workloads::synthetic::{synthetic_app, SyntheticSpec};
+use flashabacus::config::FlashAbacusConfig;
+use flashabacus::scheduler::SchedulerPolicy;
+use flashabacus::system::FlashAbacusSystem;
+
+fn small_batch() -> Vec<fa_kernel::model::Application> {
+    let template = synthetic_app(
+        "bench",
+        &SyntheticSpec {
+            instructions: 500_000,
+            serial_fraction: 0.3,
+            input_bytes: 256 * 1024,
+            output_bytes: 32 * 1024,
+            ldst_ratio: 0.4,
+            mul_ratio: 0.1,
+            parallel_screens: 6,
+        },
+    );
+    instantiate_many(
+        &[template],
+        &InstancePlan {
+            instances_per_app: 6,
+            ..Default::default()
+        },
+    )
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let apps = small_batch();
+    let mut group = c.benchmark_group("scheduler/full_run_6_instances");
+    for policy in SchedulerPolicy::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(policy.label()), &policy, |b, p| {
+            b.iter(|| {
+                let mut system = FlashAbacusSystem::new(FlashAbacusConfig::tiny_for_tests(*p));
+                criterion::black_box(system.run(&apps).unwrap());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Regenerates Figures 10a and 10b (throughput of the five systems).
+use fa_bench::experiments::{fig10_throughput, Campaign};
+use fa_bench::runner::ExperimentScale;
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let homogeneous = Campaign::homogeneous(scale);
+    println!("{}", fig10_throughput::report_homogeneous(&homogeneous));
+    let heterogeneous = Campaign::heterogeneous(scale);
+    println!("{}", fig10_throughput::report_heterogeneous(&heterogeneous));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figures 11a and 11b (latency normalized to SIMD).
+use fa_bench::experiments::{fig11_latency, Campaign};
+use fa_bench::runner::ExperimentScale;
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let homogeneous = Campaign::homogeneous(scale);
+    println!("{}", fig11_latency::report_homogeneous(&homogeneous));
+    let heterogeneous = Campaign::heterogeneous(scale);
+    println!("{}", fig11_latency::report_heterogeneous(&heterogeneous));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figures 12a and 12b (completion-time CDFs for ATAX and MX1).
+use fa_bench::runner::ExperimentScale;
+fn main() {
+    println!(
+        "{}",
+        fa_bench::experiments::fig12_cdf::report(ExperimentScale::from_env())
+    );
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figures 14a and 14b (LWP utilization).
+use fa_bench::experiments::{fig14_utilization, Campaign};
+use fa_bench::runner::ExperimentScale;
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let homogeneous = Campaign::homogeneous(scale);
+    println!("{}", fig14_utilization::report_homogeneous(&homogeneous));
+    let heterogeneous = Campaign::heterogeneous(scale);
+    println!("{}", fig14_utilization::report_heterogeneous(&heterogeneous));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figures 15a and 15b (FU utilization and power over time).
+use fa_bench::runner::ExperimentScale;
+fn main() {
+    println!(
+        "{}",
+        fa_bench::experiments::fig15_timeline::report(ExperimentScale::from_env())
+    );
+}

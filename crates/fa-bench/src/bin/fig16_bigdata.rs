@@ -1,0 +1,7 @@
+//! Regenerates Figures 16a and 16b (graph / big-data applications).
+use fa_bench::experiments::{fig16_bigdata, Campaign};
+use fa_bench::runner::ExperimentScale;
+fn main() {
+    let campaign = Campaign::bigdata(ExperimentScale::from_env());
+    println!("{}", fig16_bigdata::report(&campaign));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figures 3d and 3e (time and energy breakdown of the
+//! conventional system).
+use fa_bench::runner::ExperimentScale;
+fn main() {
+    println!(
+        "{}",
+        fa_bench::experiments::fig3_motivation::report_breakdown(ExperimentScale::from_env())
+    );
+}

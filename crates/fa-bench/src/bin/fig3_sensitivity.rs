@@ -1,0 +1,8 @@
+//! Regenerates Figures 3b and 3c (serial-fraction sensitivity study).
+use fa_bench::runner::ExperimentScale;
+fn main() {
+    println!(
+        "{}",
+        fa_bench::experiments::fig3_motivation::report_sensitivity(ExperimentScale::from_env())
+    );
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 1 (hardware specification).
+fn main() {
+    println!("{}", fa_bench::experiments::tables::table1());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 2 (workload characteristics and mix compositions).
+fn main() {
+    println!("{}", fa_bench::experiments::tables::table2());
+}

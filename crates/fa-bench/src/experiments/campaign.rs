@@ -1,0 +1,110 @@
+//! Shared evaluation campaigns.
+
+use crate::runner::{
+    bigdata_workload, heterogeneous_workload, homogeneous_workload, run_on, ExperimentScale,
+    SystemKind, UnifiedOutcome,
+};
+use fa_workloads::bigdata::bigdata_table;
+use fa_workloads::mixes::{mix_names, MIX_COUNT};
+use fa_workloads::polybench::polybench_table2;
+
+/// A set of completed runs, indexed by workload label and system.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// All outcomes, in (workload, system) iteration order.
+    pub outcomes: Vec<UnifiedOutcome>,
+    /// Workload labels in presentation order.
+    pub workloads: Vec<String>,
+}
+
+impl Campaign {
+    /// Runs the homogeneous campaign of §5.1: six instances of each of the
+    /// fourteen PolyBench applications on all five systems.
+    pub fn homogeneous(scale: ExperimentScale) -> Campaign {
+        let rows = polybench_table2();
+        let mut outcomes = Vec::new();
+        let mut workloads = Vec::new();
+        for row in &rows {
+            workloads.push(row.name.to_string());
+            let apps = homogeneous_workload(row.bench, scale);
+            for system in SystemKind::all() {
+                outcomes.push(run_on(system, row.name, &apps));
+            }
+        }
+        Campaign {
+            outcomes,
+            workloads,
+        }
+    }
+
+    /// Runs the heterogeneous campaign of §5.1: MX1–MX14 on all five
+    /// systems (24 instances each).
+    pub fn heterogeneous(scale: ExperimentScale) -> Campaign {
+        let mut outcomes = Vec::new();
+        let mut workloads = Vec::new();
+        for (i, name) in mix_names().into_iter().enumerate() {
+            let mix = i + 1;
+            workloads.push(name.clone());
+            let apps = heterogeneous_workload(mix, scale);
+            for system in SystemKind::all() {
+                outcomes.push(run_on(system, &name, &apps));
+            }
+        }
+        debug_assert_eq!(workloads.len(), MIX_COUNT);
+        Campaign {
+            outcomes,
+            workloads,
+        }
+    }
+
+    /// Runs the graph/big-data campaign of §5.6 on all five systems.
+    pub fn bigdata(scale: ExperimentScale) -> Campaign {
+        let mut outcomes = Vec::new();
+        let mut workloads = Vec::new();
+        for row in bigdata_table() {
+            workloads.push(row.name.to_string());
+            let apps = bigdata_workload(row.bench, scale);
+            for system in SystemKind::all() {
+                outcomes.push(run_on(system, row.name, &apps));
+            }
+        }
+        Campaign {
+            outcomes,
+            workloads,
+        }
+    }
+
+    /// Looks up the outcome of one (workload, system) pair.
+    pub fn get(&self, workload: &str, system: SystemKind) -> Option<&UnifiedOutcome> {
+        self.outcomes
+            .iter()
+            .find(|o| o.workload == workload && o.system == system)
+    }
+
+    /// The outcome of one pair, panicking when absent (campaigns are always
+    /// complete; a miss is a typo in the caller).
+    pub fn expect(&self, workload: &str, system: SystemKind) -> &UnifiedOutcome {
+        self.get(workload, system)
+            .unwrap_or_else(|| panic!("no outcome for {workload} on {}", system.label()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashabacus::SchedulerPolicy;
+
+    #[test]
+    fn bigdata_campaign_covers_all_pairs() {
+        let c = Campaign::bigdata(ExperimentScale { data_scale: 512 });
+        assert_eq!(c.workloads.len(), 5);
+        assert_eq!(c.outcomes.len(), 5 * 5);
+        for w in &c.workloads {
+            for s in SystemKind::all() {
+                assert!(c.get(w, s).is_some(), "{w} on {}", s.label());
+            }
+        }
+        let o = c.expect("bfs", SystemKind::FlashAbacus(SchedulerPolicy::IntraO3));
+        assert!(o.throughput_mb_s > 0.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Figure 12: CDFs of kernel completion times (ATAX and MX1).
+
+use crate::report::Table;
+use crate::runner::{
+    heterogeneous_workload, homogeneous_workload, run_on, ExperimentScale, SystemKind,
+};
+use fa_workloads::polybench::PolyBench;
+
+/// Renders the Figure 12a CDF (ATAX, homogeneous) and the Figure 12b CDF
+/// (MX1, heterogeneous).
+pub fn report(scale: ExperimentScale) -> String {
+    let atax = homogeneous_workload(PolyBench::Atax, scale);
+    let mx1 = heterogeneous_workload(1, scale);
+    let mut out = render_one("Figure 12a: completed kernels over time, ATAX", &atax);
+    out.push('\n');
+    out.push_str(&render_one(
+        "Figure 12b: completed kernels over time, MX1",
+        &mx1,
+    ));
+    out
+}
+
+fn render_one(title: &str, apps: &[fa_kernel::model::Application]) -> String {
+    let mut table = Table::new(
+        title,
+        &["System", "Completion times of successive kernels (s)"],
+    );
+    for system in SystemKind::all() {
+        let out = run_on(system, title, apps);
+        let times: Vec<String> = out
+            .completion_times
+            .iter()
+            .map(|t| format!("{t:.4}"))
+            .collect();
+        table.row(vec![system.label().to_string(), times.join(", ")]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_report_lists_both_workloads_and_all_systems() {
+        let r = report(ExperimentScale { data_scale: 512 });
+        assert!(r.contains("Figure 12a"));
+        assert!(r.contains("Figure 12b"));
+        assert!(r.contains("IntraO3"));
+        assert!(r.contains("SIMD"));
+    }
+}

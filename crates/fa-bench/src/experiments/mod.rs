@@ -1,0 +1,19 @@
+//! One module per table/figure of the paper's evaluation.
+//!
+//! Each module exposes a `report*` function returning the formatted text a
+//! reader would compare against the corresponding figure. The `campaign`
+//! module runs every (workload, system) pair once so that Figures 10–14,
+//! which all project the same runs, do not repeat the simulations.
+
+pub mod campaign;
+pub mod fig10_throughput;
+pub mod fig11_latency;
+pub mod fig12_cdf;
+pub mod fig13_energy;
+pub mod fig14_utilization;
+pub mod fig15_timeline;
+pub mod fig16_bigdata;
+pub mod fig3_motivation;
+pub mod tables;
+
+pub use campaign::Campaign;

@@ -1,0 +1,257 @@
+//! Unified experiment runner.
+//!
+//! The paper evaluates five accelerated systems (§5 "Accelerators"): the
+//! conventional `SIMD` baseline and the four FlashAbacus schedulers. This
+//! module gives each of them a single entry point that accepts a batch of
+//! application instances and returns the same [`UnifiedOutcome`] record, so
+//! the per-figure modules can treat all five uniformly.
+
+use fa_baseline::{BaselineConfig, ConventionalSystem};
+use fa_energy::EnergyBreakdown;
+use fa_kernel::instance::{instantiate_many, InstancePlan};
+use fa_kernel::model::Application;
+use fa_sim::stats::TimeSeries;
+use fa_workloads::bigdata::{bigdata_app, BigDataBench};
+use fa_workloads::mixes::mix_apps;
+use fa_workloads::polybench::{polybench_app, PolyBench};
+use flashabacus::{FlashAbacusConfig, FlashAbacusSystem, SchedulerPolicy};
+use serde::{Deserialize, Serialize};
+
+/// The five accelerated systems of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SystemKind {
+    /// Conventional accelerator + discrete NVMe SSD, OpenMP SIMD execution.
+    Simd,
+    /// FlashAbacus with one of the four scheduling policies.
+    FlashAbacus(SchedulerPolicy),
+}
+
+impl SystemKind {
+    /// All five systems in the order the paper's figures list them.
+    pub fn all() -> [SystemKind; 5] {
+        [
+            SystemKind::Simd,
+            SystemKind::FlashAbacus(SchedulerPolicy::InterSt),
+            SystemKind::FlashAbacus(SchedulerPolicy::IntraIo),
+            SystemKind::FlashAbacus(SchedulerPolicy::InterDy),
+            SystemKind::FlashAbacus(SchedulerPolicy::IntraO3),
+        ]
+    }
+
+    /// The label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemKind::Simd => "SIMD",
+            SystemKind::FlashAbacus(p) => p.label(),
+        }
+    }
+}
+
+/// How much the paper's data sets are scaled down for simulation speed.
+///
+/// Scaling divides every input size (and therefore instruction count) by
+/// `data_scale`; all ratios the figures depend on are preserved. The
+/// environment variable `FA_DATA_SCALE` overrides the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExperimentScale {
+    /// Divisor applied to Table 2's input sizes.
+    pub data_scale: u64,
+}
+
+impl Default for ExperimentScale {
+    fn default() -> Self {
+        ExperimentScale { data_scale: 16 }
+    }
+}
+
+impl ExperimentScale {
+    /// The default scale, unless `FA_DATA_SCALE` overrides it.
+    pub fn from_env() -> Self {
+        let data_scale = std::env::var("FA_DATA_SCALE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|v| *v > 0)
+            .unwrap_or(16);
+        ExperimentScale { data_scale }
+    }
+
+    /// A coarser scale for unit tests and Criterion benches.
+    pub fn quick() -> Self {
+        ExperimentScale { data_scale: 128 }
+    }
+}
+
+/// Metrics shared by every system, extracted from either a FlashAbacus
+/// [`flashabacus::RunOutcome`] or a baseline
+/// [`fa_baseline::BaselineOutcome`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UnifiedOutcome {
+    /// Which system produced the outcome.
+    pub system: SystemKind,
+    /// Workload label (benchmark or mix name).
+    pub workload: String,
+    /// Total execution time in seconds.
+    pub total_seconds: f64,
+    /// Aggregate data-processing throughput in MB/s.
+    pub throughput_mb_s: f64,
+    /// Kernel latency statistics `(min, avg, max)` in seconds.
+    pub latency_min_avg_max: (f64, f64, f64),
+    /// Kernel completion instants in seconds, ascending (CDF x-values).
+    pub completion_times: Vec<f64>,
+    /// Energy breakdown in joules.
+    pub energy: EnergyBreakdown,
+    /// Mean LWP utilization in `[0, 1]` (worker LWPs for FlashAbacus, the
+    /// active LWPs for SIMD).
+    pub mean_lwp_utilization: f64,
+    /// Busy-functional-unit timeline.
+    pub fu_timeline: TimeSeries,
+    /// Power timeline in watts.
+    pub power_timeline: TimeSeries,
+}
+
+impl UnifiedOutcome {
+    /// Total energy in joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.energy.total_j()
+    }
+}
+
+/// Builds the homogeneous workload of §5.1: six instances of one PolyBench
+/// application.
+pub fn homogeneous_workload(bench: PolyBench, scale: ExperimentScale) -> Vec<Application> {
+    instantiate_many(
+        &[polybench_app(bench, scale.data_scale)],
+        &InstancePlan::homogeneous(),
+    )
+}
+
+/// Builds the heterogeneous workload MX`mix` of §5.1: 24 instances, four of
+/// each of the mix's six applications.
+pub fn heterogeneous_workload(mix: usize, scale: ExperimentScale) -> Vec<Application> {
+    mix_apps(mix, scale.data_scale)
+}
+
+/// Builds the graph/big-data workload of §5.6: six instances of one
+/// benchmark.
+pub fn bigdata_workload(bench: BigDataBench, scale: ExperimentScale) -> Vec<Application> {
+    instantiate_many(
+        &[bigdata_app(bench, scale.data_scale)],
+        &InstancePlan::homogeneous(),
+    )
+}
+
+/// Runs `apps` on `system` and returns the unified outcome.
+///
+/// # Panics
+///
+/// Panics if the FlashAbacus run fails (out of flash space or a scheduler
+/// stall), which indicates a harness configuration error rather than a
+/// measurable result.
+pub fn run_on(system: SystemKind, workload_label: &str, apps: &[Application]) -> UnifiedOutcome {
+    match system {
+        SystemKind::Simd => {
+            let mut sys = ConventionalSystem::new(BaselineConfig::paper_baseline());
+            let out = sys.run(apps);
+            UnifiedOutcome {
+                system,
+                workload: workload_label.to_string(),
+                total_seconds: out.finished_at.as_secs_f64(),
+                throughput_mb_s: out.throughput_mb_s(),
+                latency_min_avg_max: out.latency_stats(),
+                completion_times: out.completion_cdf().into_iter().map(|(t, _)| t).collect(),
+                energy: out.energy,
+                mean_lwp_utilization: out.mean_lwp_utilization(),
+                fu_timeline: out.fu_timeline,
+                power_timeline: out.power_timeline,
+            }
+        }
+        SystemKind::FlashAbacus(policy) => {
+            let mut sys = FlashAbacusSystem::new(FlashAbacusConfig::paper_prototype(policy));
+            let out = sys
+                .run(apps)
+                .unwrap_or_else(|e| panic!("FlashAbacus run failed on {workload_label}: {e}"));
+            UnifiedOutcome {
+                system,
+                workload: workload_label.to_string(),
+                total_seconds: out.finished_at.as_secs_f64(),
+                throughput_mb_s: out.throughput_mb_s(),
+                latency_min_avg_max: out.latency_stats(),
+                completion_times: out.completion_cdf().into_iter().map(|(t, _)| t).collect(),
+                energy: out.energy.breakdown,
+                mean_lwp_utilization: out.mean_worker_utilization(),
+                fu_timeline: out.fu_timeline,
+                power_timeline: out.power_timeline,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_labels_match_the_paper() {
+        let labels: Vec<&str> = SystemKind::all().iter().map(|s| s.label()).collect();
+        assert_eq!(labels, vec!["SIMD", "InterSt", "IntraIo", "InterDy", "IntraO3"]);
+    }
+
+    #[test]
+    fn homogeneous_workload_has_six_instances() {
+        let apps = homogeneous_workload(PolyBench::Gemm, ExperimentScale::quick());
+        assert_eq!(apps.len(), 6);
+        assert!(apps.iter().all(|a| a.name == "GEMM"));
+    }
+
+    #[test]
+    fn heterogeneous_workload_has_24_instances() {
+        let apps = heterogeneous_workload(1, ExperimentScale::quick());
+        assert_eq!(apps.len(), 24);
+    }
+
+    #[test]
+    fn all_systems_run_a_small_workload() {
+        let scale = ExperimentScale { data_scale: 512 };
+        let apps = homogeneous_workload(PolyBench::Gemm, scale);
+        for system in SystemKind::all() {
+            let out = run_on(system, "GEMM", &apps);
+            assert!(out.total_seconds > 0.0, "{}", system.label());
+            assert!(out.throughput_mb_s > 0.0, "{}", system.label());
+            assert!(out.total_energy_j() > 0.0, "{}", system.label());
+            assert_eq!(out.completion_times.len(), 6, "{}", system.label());
+        }
+    }
+
+    #[test]
+    fn flashabacus_beats_simd_on_a_data_intensive_workload() {
+        // The headline claim, checked on a scaled-down ATAX batch.
+        let scale = ExperimentScale { data_scale: 256 };
+        let apps = homogeneous_workload(PolyBench::Atax, scale);
+        let simd = run_on(SystemKind::Simd, "ATAX", &apps);
+        let fa = run_on(
+            SystemKind::FlashAbacus(SchedulerPolicy::IntraO3),
+            "ATAX",
+            &apps,
+        );
+        assert!(
+            fa.throughput_mb_s > simd.throughput_mb_s,
+            "FlashAbacus {:.1} MB/s should beat SIMD {:.1} MB/s",
+            fa.throughput_mb_s,
+            simd.throughput_mb_s
+        );
+        assert!(
+            fa.total_energy_j() < simd.total_energy_j(),
+            "FlashAbacus {:.3} J should use less energy than SIMD {:.3} J",
+            fa.total_energy_j(),
+            simd.total_energy_j()
+        );
+    }
+
+    #[test]
+    fn scale_from_env_defaults_to_16() {
+        // The env var is not set during tests.
+        if std::env::var("FA_DATA_SCALE").is_err() {
+            assert_eq!(ExperimentScale::from_env().data_scale, 16);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Component power specifications and activity-based energy accounting.
+//!
+//! The paper's energy evaluation (Figures 3e, 13, 15b, 16b) decomposes
+//! system energy into three parts: *data movement* (host CPU and DRAM work
+//! spent shuttling data between the SSD and the accelerator), *computation*
+//! (the accelerator actually processing data), and *storage access* (the
+//! I/O stack and the storage device serving requests). This crate provides:
+//!
+//! * [`power`] — per-component power figures assembled from Table 1 and the
+//!   host platform description (§5).
+//! * [`accountant`] — an activity log that integrates power over busy
+//!   intervals, reports the three-way breakdown, and can reconstruct the
+//!   power-versus-time curve of Figure 15b.
+
+pub mod accountant;
+pub mod power;
+
+pub use accountant::{ActivityCategory, EnergyAccountant, EnergyBreakdown};
+pub use power::{Component, PowerSpec};

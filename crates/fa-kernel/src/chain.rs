@@ -1,0 +1,463 @@
+//! The multi-app execution chain.
+//!
+//! FlashAbacus tracks screen-level progress in a per-application dependency
+//! list (§4.2, Figure 8): every application owns a chain of nodes, one per
+//! microblock of each of its kernels, and each node records the screens of
+//! that microblock together with the LWP executing them and their status.
+//! The chain encodes the only ordering rule of the execution model: *no
+//! screen of a microblock may start before every screen of the previous
+//! microblock of the same kernel has completed*. Kernels of the same
+//! application — and of course different applications — are mutually
+//! independent.
+//!
+//! All four schedulers consult this structure; the out-of-order intra-kernel
+//! scheduler additionally uses [`ExecutionChain::ready_screens`] to borrow
+//! screens across kernel and application boundaries.
+
+use crate::model::Application;
+use fa_sim::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Position of one screen inside the offloaded workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ScreenRef {
+    /// Index of the application in the offload batch.
+    pub app: usize,
+    /// Kernel index within the application.
+    pub kernel: usize,
+    /// Microblock index within the kernel.
+    pub microblock: usize,
+    /// Screen index within the microblock.
+    pub screen: usize,
+}
+
+/// Execution status of one screen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScreenState {
+    /// Not yet dispatched.
+    Pending,
+    /// Dispatched to an LWP and executing.
+    Running {
+        /// The LWP executing the screen.
+        lwp: usize,
+    },
+    /// Finished.
+    Done,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ScreenNode {
+    state: ScreenState,
+    completed_at: Option<SimTime>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct MicroblockNode {
+    screens: Vec<ScreenNode>,
+}
+
+impl MicroblockNode {
+    fn all_done(&self) -> bool {
+        self.screens
+            .iter()
+            .all(|s| matches!(s.state, ScreenState::Done))
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct KernelNode {
+    microblocks: Vec<MicroblockNode>,
+    completed_at: Option<SimTime>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct AppNode {
+    kernels: Vec<KernelNode>,
+    completed_at: Option<SimTime>,
+}
+
+/// Runtime dependency tracker over an offloaded batch of applications.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExecutionChain {
+    apps: Vec<AppNode>,
+    total_screens: usize,
+    completed_screens: usize,
+    running: HashMap<ScreenRef, usize>,
+}
+
+impl ExecutionChain {
+    /// Builds the chain for a batch of applications.
+    pub fn new(apps: &[Application]) -> Self {
+        let nodes: Vec<AppNode> = apps
+            .iter()
+            .map(|a| AppNode {
+                kernels: a
+                    .kernels
+                    .iter()
+                    .map(|k| KernelNode {
+                        microblocks: k
+                            .microblocks
+                            .iter()
+                            .map(|m| MicroblockNode {
+                                screens: m
+                                    .screens
+                                    .iter()
+                                    .map(|_| ScreenNode {
+                                        state: ScreenState::Pending,
+                                        completed_at: None,
+                                    })
+                                    .collect(),
+                            })
+                            .collect(),
+                        completed_at: None,
+                    })
+                    .collect(),
+                completed_at: None,
+            })
+            .collect();
+        let total = nodes
+            .iter()
+            .flat_map(|a| &a.kernels)
+            .flat_map(|k| &k.microblocks)
+            .map(|m| m.screens.len())
+            .sum();
+        ExecutionChain {
+            apps: nodes,
+            total_screens: total,
+            completed_screens: 0,
+            running: HashMap::new(),
+        }
+    }
+
+    /// Total number of screens tracked.
+    pub fn total_screens(&self) -> usize {
+        self.total_screens
+    }
+
+    /// Number of screens that have completed.
+    pub fn completed_screens(&self) -> usize {
+        self.completed_screens
+    }
+
+    /// True once every screen has completed.
+    pub fn is_complete(&self) -> bool {
+        self.completed_screens == self.total_screens
+    }
+
+    /// Returns the state of a screen, or `None` for an invalid reference.
+    pub fn state(&self, at: ScreenRef) -> Option<ScreenState> {
+        self.apps
+            .get(at.app)?
+            .kernels
+            .get(at.kernel)?
+            .microblocks
+            .get(at.microblock)?
+            .screens
+            .get(at.screen)
+            .map(|s| s.state)
+    }
+
+    /// True when every screen of the given microblock has completed.
+    pub fn microblock_complete(&self, app: usize, kernel: usize, microblock: usize) -> bool {
+        self.apps
+            .get(app)
+            .and_then(|a| a.kernels.get(kernel))
+            .and_then(|k| k.microblocks.get(microblock))
+            .map(MicroblockNode::all_done)
+            .unwrap_or(false)
+    }
+
+    /// The earliest (app, kernel, microblock) in offload order that has not
+    /// yet completed, if any. The in-order intra-kernel scheduler restricts
+    /// dispatch to this microblock.
+    pub fn earliest_incomplete_microblock(&self) -> Option<(usize, usize, usize)> {
+        for (ai, app) in self.apps.iter().enumerate() {
+            for (ki, kernel) in app.kernels.iter().enumerate() {
+                for (mi, mblock) in kernel.microblocks.iter().enumerate() {
+                    if !mblock.all_done() {
+                        return Some((ai, ki, mi));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// A microblock is *eligible* when every screen of the preceding
+    /// microblock of the same kernel has completed (the first microblock is
+    /// always eligible).
+    pub fn microblock_eligible(&self, app: usize, kernel: usize, microblock: usize) -> bool {
+        if microblock == 0 {
+            return true;
+        }
+        self.apps
+            .get(app)
+            .and_then(|a| a.kernels.get(kernel))
+            .and_then(|k| k.microblocks.get(microblock - 1))
+            .map(MicroblockNode::all_done)
+            .unwrap_or(false)
+    }
+
+    /// All screens that are pending and whose microblock is eligible,
+    /// across every application and kernel, in deterministic
+    /// (app, kernel, microblock, screen) order.
+    pub fn ready_screens(&self) -> Vec<ScreenRef> {
+        let mut ready = Vec::new();
+        for (ai, app) in self.apps.iter().enumerate() {
+            for (ki, kernel) in app.kernels.iter().enumerate() {
+                for (mi, mblock) in kernel.microblocks.iter().enumerate() {
+                    if !self.microblock_eligible(ai, ki, mi) {
+                        continue;
+                    }
+                    for (si, screen) in mblock.screens.iter().enumerate() {
+                        if matches!(screen.state, ScreenState::Pending) {
+                            ready.push(ScreenRef {
+                                app: ai,
+                                kernel: ki,
+                                microblock: mi,
+                                screen: si,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        ready
+    }
+
+    /// Ready screens restricted to one kernel (used by the in-order
+    /// intra-kernel scheduler).
+    pub fn ready_screens_of_kernel(&self, app: usize, kernel: usize) -> Vec<ScreenRef> {
+        self.ready_screens()
+            .into_iter()
+            .filter(|r| r.app == app && r.kernel == kernel)
+            .collect()
+    }
+
+    /// Marks a screen as running on `lwp`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference is invalid, the screen is not pending, or its
+    /// microblock is not yet eligible — all of which indicate scheduler bugs.
+    pub fn mark_running(&mut self, at: ScreenRef, lwp: usize) {
+        assert!(
+            self.microblock_eligible(at.app, at.kernel, at.microblock),
+            "scheduling violates microblock ordering: {at:?}"
+        );
+        let node = self.screen_mut(at);
+        assert!(
+            matches!(node.state, ScreenState::Pending),
+            "screen {at:?} dispatched twice"
+        );
+        node.state = ScreenState::Running { lwp };
+        self.running.insert(at, lwp);
+    }
+
+    /// Marks a screen as completed at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the screen was not running.
+    pub fn mark_done(&mut self, at: ScreenRef, now: SimTime) {
+        {
+            let node = self.screen_mut(at);
+            assert!(
+                matches!(node.state, ScreenState::Running { .. }),
+                "screen {at:?} completed without running"
+            );
+            node.state = ScreenState::Done;
+            node.completed_at = Some(now);
+        }
+        self.running.remove(&at);
+        self.completed_screens += 1;
+        // Roll the completion upward to kernel and application level.
+        let kernel_done = self.apps[at.app].kernels[at.kernel]
+            .microblocks
+            .iter()
+            .all(MicroblockNode::all_done);
+        if kernel_done {
+            let k = &mut self.apps[at.app].kernels[at.kernel];
+            if k.completed_at.is_none() {
+                k.completed_at = Some(now);
+            }
+        }
+        let app_done = self.apps[at.app]
+            .kernels
+            .iter()
+            .all(|k| k.completed_at.is_some());
+        if app_done {
+            let a = &mut self.apps[at.app];
+            if a.completed_at.is_none() {
+                a.completed_at = Some(now);
+            }
+        }
+    }
+
+    fn screen_mut(&mut self, at: ScreenRef) -> &mut ScreenNode {
+        self.apps
+            .get_mut(at.app)
+            .and_then(|a| a.kernels.get_mut(at.kernel))
+            .and_then(|k| k.microblocks.get_mut(at.microblock))
+            .and_then(|m| m.screens.get_mut(at.screen))
+            .unwrap_or_else(|| panic!("invalid screen reference {at:?}"))
+    }
+
+    /// Completion time of a kernel, if it has finished.
+    pub fn kernel_completion(&self, app: usize, kernel: usize) -> Option<SimTime> {
+        self.apps.get(app)?.kernels.get(kernel)?.completed_at
+    }
+
+    /// Completion time of an application, if it has finished.
+    pub fn app_completion(&self, app: usize) -> Option<SimTime> {
+        self.apps.get(app)?.completed_at
+    }
+
+    /// Completion times of every kernel that has finished, flattened in
+    /// (app, kernel) order.
+    pub fn kernel_completions(&self) -> Vec<(usize, usize, SimTime)> {
+        let mut v = Vec::new();
+        for (ai, a) in self.apps.iter().enumerate() {
+            for (ki, k) in a.kernels.iter().enumerate() {
+                if let Some(t) = k.completed_at {
+                    v.push((ai, ki, t));
+                }
+            }
+        }
+        v
+    }
+
+    /// Screens currently marked running, with their LWP assignment.
+    pub fn running_screens(&self) -> Vec<(ScreenRef, usize)> {
+        let mut v: Vec<_> = self.running.iter().map(|(r, l)| (*r, *l)).collect();
+        v.sort_by_key(|(r, _)| *r);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{AppId, ApplicationBuilder, DataSection};
+    use fa_platform::lwp::InstructionMix;
+
+    fn two_apps() -> Vec<Application> {
+        let mix = InstructionMix::new(10_000, 0.4, 0.1);
+        let ds = DataSection {
+            flash_base: 0,
+            input_bytes: 4096,
+            output_bytes: 4096,
+        };
+        let a0 = ApplicationBuilder::new("A0")
+            .kernel("A0-k0", ds, &[(2, mix, 4096, 0), (1, mix, 0, 4096)])
+            .kernel("A0-k1", ds, &[(1, mix, 4096, 4096)])
+            .build(AppId(0));
+        let a1 = ApplicationBuilder::new("A1")
+            .kernel("A1-k0", ds, &[(3, mix, 4096, 4096)])
+            .build(AppId(1));
+        vec![a0, a1]
+    }
+
+    #[test]
+    fn initial_ready_set_is_first_microblocks_only() {
+        let chain = ExecutionChain::new(&two_apps());
+        assert_eq!(chain.total_screens(), 2 + 1 + 1 + 3);
+        let ready = chain.ready_screens();
+        // k0 of app0 exposes 2 screens, k1 of app0 one, k0 of app1 three;
+        // the second microblock of app0-k0 is not yet eligible.
+        assert_eq!(ready.len(), 6);
+        assert!(ready.iter().all(|r| r.microblock == 0));
+    }
+
+    #[test]
+    fn second_microblock_becomes_ready_after_first_completes() {
+        let mut chain = ExecutionChain::new(&two_apps());
+        let first: Vec<ScreenRef> = chain
+            .ready_screens_of_kernel(0, 0)
+            .into_iter()
+            .collect();
+        assert_eq!(first.len(), 2);
+        assert!(!chain.microblock_eligible(0, 0, 1));
+        for (i, r) in first.iter().enumerate() {
+            chain.mark_running(*r, i);
+        }
+        chain.mark_done(first[0], SimTime::from_us(5));
+        assert!(!chain.microblock_eligible(0, 0, 1));
+        chain.mark_done(first[1], SimTime::from_us(7));
+        assert!(chain.microblock_eligible(0, 0, 1));
+        let ready = chain.ready_screens_of_kernel(0, 0);
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].microblock, 1);
+    }
+
+    #[test]
+    fn kernel_and_app_completion_propagate() {
+        let mut chain = ExecutionChain::new(&two_apps());
+        // Drive everything to completion in ready order.
+        let mut t = 0u64;
+        while !chain.is_complete() {
+            let ready = chain.ready_screens();
+            assert!(!ready.is_empty(), "livelock: nothing ready");
+            for r in ready {
+                chain.mark_running(r, 0);
+                t += 10;
+                chain.mark_done(r, SimTime::from_us(t));
+            }
+        }
+        assert!(chain.kernel_completion(0, 0).is_some());
+        assert!(chain.kernel_completion(0, 1).is_some());
+        assert!(chain.kernel_completion(1, 0).is_some());
+        assert!(chain.app_completion(0).is_some());
+        assert!(chain.app_completion(1).is_some());
+        assert_eq!(chain.kernel_completions().len(), 3);
+        // Application completion is the max of its kernels'.
+        let a0 = chain.app_completion(0).unwrap();
+        assert!(a0 >= chain.kernel_completion(0, 0).unwrap());
+        assert!(a0 >= chain.kernel_completion(0, 1).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "dispatched twice")]
+    fn double_dispatch_panics() {
+        let mut chain = ExecutionChain::new(&two_apps());
+        let r = chain.ready_screens()[0];
+        chain.mark_running(r, 0);
+        chain.mark_running(r, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "violates microblock ordering")]
+    fn scheduling_ineligible_microblock_panics() {
+        let mut chain = ExecutionChain::new(&two_apps());
+        chain.mark_running(
+            ScreenRef {
+                app: 0,
+                kernel: 0,
+                microblock: 1,
+                screen: 0,
+            },
+            0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "completed without running")]
+    fn completing_pending_screen_panics() {
+        let mut chain = ExecutionChain::new(&two_apps());
+        let r = chain.ready_screens()[0];
+        chain.mark_done(r, SimTime::ZERO);
+    }
+
+    #[test]
+    fn running_screens_reports_assignments() {
+        let mut chain = ExecutionChain::new(&two_apps());
+        let ready = chain.ready_screens();
+        chain.mark_running(ready[0], 3);
+        chain.mark_running(ready[1], 5);
+        let running = chain.running_screens();
+        assert_eq!(running.len(), 2);
+        assert_eq!(running[0].1, 3);
+        assert_eq!(running[1].1, 5);
+    }
+}

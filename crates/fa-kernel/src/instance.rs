@@ -1,0 +1,173 @@
+//! Workload instance stamping.
+//!
+//! The evaluation never runs a benchmark once: the homogeneous experiments
+//! launch six instances of each kernel, and the heterogeneous mixes launch
+//! 24 instances (four per application, six applications per mix). These
+//! helpers stamp out the instances, give each a unique [`AppId`], and lay
+//! their flash-mapped data sections out contiguously in the backbone's
+//! logical address space.
+
+use crate::model::{AppId, Application};
+use serde::{Deserialize, Serialize};
+
+/// Describes how many copies of each template application to launch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstancePlan {
+    /// Number of instances to create per template.
+    pub instances_per_app: usize,
+    /// First flash byte address to place data sections at.
+    pub flash_base: u64,
+    /// Alignment (in bytes) applied to every instance's base address.
+    pub alignment: u64,
+}
+
+impl Default for InstancePlan {
+    fn default() -> Self {
+        InstancePlan {
+            instances_per_app: 1,
+            flash_base: 0,
+            alignment: 64 * 1024,
+        }
+    }
+}
+
+impl InstancePlan {
+    /// Plan used for the paper's homogeneous workloads: six instances of a
+    /// single application (§5.1).
+    pub fn homogeneous() -> Self {
+        InstancePlan {
+            instances_per_app: 6,
+            ..Default::default()
+        }
+    }
+
+    /// Plan used for the paper's heterogeneous mixes: four instances of
+    /// each of six applications (§5.1).
+    pub fn heterogeneous() -> Self {
+        InstancePlan {
+            instances_per_app: 4,
+            ..Default::default()
+        }
+    }
+}
+
+fn align_up(value: u64, alignment: u64) -> u64 {
+    if alignment <= 1 {
+        return value;
+    }
+    value.div_ceil(alignment) * alignment
+}
+
+/// Stamps out `plan.instances_per_app` instances of every template, in
+/// round-robin template order (instance 0 of every template, then instance
+/// 1, ...), matching how the host would queue a mixed batch.
+pub fn instantiate_many(templates: &[Application], plan: &InstancePlan) -> Vec<Application> {
+    let mut out = Vec::with_capacity(templates.len() * plan.instances_per_app);
+    let mut next_id = 0u32;
+    let mut cursor = plan.flash_base;
+    for round in 0..plan.instances_per_app {
+        for template in templates {
+            let _ = round;
+            cursor = align_up(cursor, plan.alignment);
+            let app = template.instantiate(AppId(next_id), cursor);
+            cursor += app.flash_bytes();
+            next_id += 1;
+            out.push(app);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ApplicationBuilder, DataSection};
+    use fa_platform::lwp::InstructionMix;
+    use proptest::prelude::*;
+
+    fn template(name: &str, bytes: u64) -> Application {
+        ApplicationBuilder::new(name)
+            .kernel(
+                format!("{name}-k0"),
+                DataSection {
+                    flash_base: 0,
+                    input_bytes: bytes,
+                    output_bytes: bytes / 2,
+                },
+                &[(2, InstructionMix::new(50_000, 0.4, 0.1), bytes, bytes / 2)],
+            )
+            .build(AppId(0))
+    }
+
+    #[test]
+    fn homogeneous_plan_makes_six_instances() {
+        let t = template("ATAX", 1 << 20);
+        let apps = instantiate_many(&[t], &InstancePlan::homogeneous());
+        assert_eq!(apps.len(), 6);
+        let ids: Vec<u32> = apps.iter().map(|a| a.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn heterogeneous_plan_interleaves_templates() {
+        let t0 = template("ATAX", 1 << 20);
+        let t1 = template("MVT", 1 << 19);
+        let apps = instantiate_many(&[t0, t1], &InstancePlan::heterogeneous());
+        assert_eq!(apps.len(), 8);
+        assert_eq!(apps[0].name, "ATAX");
+        assert_eq!(apps[1].name, "MVT");
+        assert_eq!(apps[2].name, "ATAX");
+    }
+
+    #[test]
+    fn data_sections_do_not_overlap() {
+        let t0 = template("A", 300_000);
+        let t1 = template("B", 123_456);
+        let apps = instantiate_many(&[t0, t1], &InstancePlan::homogeneous());
+        let mut ranges: Vec<(u64, u64)> = apps
+            .iter()
+            .flat_map(|a| a.kernels.iter().map(|k| k.data_section.flash_range()))
+            .collect();
+        ranges.sort_unstable();
+        for pair in ranges.windows(2) {
+            assert!(pair[0].1 <= pair[1].0, "overlap: {pair:?}");
+        }
+    }
+
+    #[test]
+    fn alignment_is_respected() {
+        let t = template("A", 100);
+        let plan = InstancePlan {
+            instances_per_app: 3,
+            flash_base: 10,
+            alignment: 4096,
+        };
+        let apps = instantiate_many(&[t], &plan);
+        for a in &apps {
+            assert_eq!(a.kernels[0].data_section.flash_base % 4096, 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn instances_never_overlap(
+            count in 1usize..6,
+            bytes_a in 1u64..2_000_000,
+            bytes_b in 1u64..2_000_000,
+        ) {
+            let t0 = template("A", bytes_a);
+            let t1 = template("B", bytes_b);
+            let plan = InstancePlan { instances_per_app: count, flash_base: 0, alignment: 8192 };
+            let apps = instantiate_many(&[t0, t1], &plan);
+            prop_assert_eq!(apps.len(), count * 2);
+            let mut ranges: Vec<(u64, u64)> = apps
+                .iter()
+                .flat_map(|a| a.kernels.iter().map(|k| k.data_section.flash_range()))
+                .collect();
+            ranges.sort_unstable();
+            for pair in ranges.windows(2) {
+                prop_assert!(pair[0].1 <= pair[1].0);
+            }
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! A minimal event-loop driver.
+//!
+//! Full-system drivers (`flashabacus::system`, `fa_baseline::system`) own
+//! all component state and implement the dispatch logic themselves; this
+//! engine factors out the mechanical parts: popping events in time order,
+//! advancing the clock monotonically, and bounding the run.
+
+use crate::event::EventQueue;
+use crate::time::SimTime;
+
+/// Result of driving the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// All events were drained; the simulation reached quiescence.
+    Drained,
+    /// The step budget was exhausted before the queue drained.
+    BudgetExhausted,
+    /// The time horizon was reached before the queue drained.
+    HorizonReached,
+}
+
+/// A generic discrete-event engine around an [`EventQueue`].
+///
+/// # Examples
+///
+/// ```
+/// use fa_sim::engine::{Engine, StepOutcome};
+/// use fa_sim::time::{SimDuration, SimTime};
+///
+/// // Count down from three by rescheduling an event.
+/// let mut engine: Engine<u32> = Engine::new();
+/// engine.schedule(SimTime::ZERO, 3);
+/// let mut seen = Vec::new();
+/// let outcome = engine.run(|now, ev, eng| {
+///     seen.push((now, ev));
+///     if ev > 1 {
+///         eng.push(now + SimDuration::from_ns(10), ev - 1);
+///     }
+/// });
+/// assert_eq!(outcome, StepOutcome::Drained);
+/// assert_eq!(seen.len(), 3);
+/// assert_eq!(engine.now(), SimTime::from_ns(20));
+/// ```
+#[derive(Debug)]
+pub struct Engine<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    max_steps: u64,
+    horizon: SimTime,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine with no step or time bound.
+    pub fn new() -> Self {
+        Engine {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            max_steps: u64::MAX,
+            horizon: SimTime::MAX,
+        }
+    }
+
+    /// Bounds the total number of dispatched events. Used as a safety net
+    /// against livelock in experiments.
+    pub fn with_max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Bounds the simulated time horizon; events scheduled after the horizon
+    /// are left in the queue.
+    pub fn with_horizon(mut self, horizon: SimTime) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Current simulated time (the timestamp of the last dispatched event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules an event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current simulation time, which
+    /// would indicate a causality bug in a component model.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: {at} < {}",
+            self.now
+        );
+        self.queue.push(at, event);
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total number of events dispatched so far.
+    pub fn dispatched(&self) -> u64 {
+        self.queue.total_popped()
+    }
+
+    /// Runs until the queue drains, the step budget is exhausted, or the
+    /// horizon is reached.
+    ///
+    /// The handler receives the event timestamp, the event, and a mutable
+    /// reference to the queue (so it can schedule follow-up events).
+    pub fn run<F>(&mut self, mut handler: F) -> StepOutcome
+    where
+        F: FnMut(SimTime, E, &mut EventQueue<E>),
+    {
+        let mut steps = 0u64;
+        loop {
+            if steps >= self.max_steps {
+                return StepOutcome::BudgetExhausted;
+            }
+            match self.queue.peek_time() {
+                None => return StepOutcome::Drained,
+                Some(t) if t > self.horizon => return StepOutcome::HorizonReached,
+                Some(_) => {}
+            }
+            let (t, ev) = self.queue.pop().expect("peeked event vanished");
+            debug_assert!(t >= self.now, "event queue went backwards in time");
+            self.now = t;
+            handler(t, ev, &mut self.queue);
+            steps += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn drains_in_order() {
+        let mut engine: Engine<u8> = Engine::new();
+        engine.schedule(SimTime::from_ns(30), 3);
+        engine.schedule(SimTime::from_ns(10), 1);
+        engine.schedule(SimTime::from_ns(20), 2);
+        let mut order = Vec::new();
+        let outcome = engine.run(|_, ev, _| order.push(ev));
+        assert_eq!(outcome, StepOutcome::Drained);
+        assert_eq!(order, vec![1, 2, 3]);
+        assert_eq!(engine.now(), SimTime::from_ns(30));
+        assert_eq!(engine.dispatched(), 3);
+    }
+
+    #[test]
+    fn step_budget_stops_runaway_loops() {
+        let mut engine: Engine<()> = Engine::new().with_max_steps(5);
+        engine.schedule(SimTime::ZERO, ());
+        let outcome = engine.run(|now, _, q| q.push(now + SimDuration::from_ns(1), ()));
+        assert_eq!(outcome, StepOutcome::BudgetExhausted);
+        assert_eq!(engine.dispatched(), 5);
+    }
+
+    #[test]
+    fn horizon_leaves_future_events_pending() {
+        let mut engine: Engine<u8> = Engine::new().with_horizon(SimTime::from_ns(15));
+        engine.schedule(SimTime::from_ns(10), 1);
+        engine.schedule(SimTime::from_ns(20), 2);
+        let mut seen = Vec::new();
+        let outcome = engine.run(|_, ev, _| seen.push(ev));
+        assert_eq!(outcome, StepOutcome::HorizonReached);
+        assert_eq!(seen, vec![1]);
+        assert_eq!(engine.pending(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut engine: Engine<u8> = Engine::new();
+        engine.schedule(SimTime::from_ns(10), 1);
+        engine.run(|_, _, _| {});
+        engine.schedule(SimTime::from_ns(5), 2);
+    }
+}

@@ -1,0 +1,45 @@
+//! Discrete-event simulation engine for the FlashAbacus reproduction.
+//!
+//! Every hardware substrate in this workspace (flash backbone, lightweight
+//! processors, interconnect, host storage stack) is modelled as a set of
+//! state machines advanced by a discrete-event loop. This crate provides the
+//! shared building blocks:
+//!
+//! * [`time`] — nanosecond-resolution simulated time and durations.
+//! * [`event`] — a generic, deterministic event queue.
+//! * [`engine`] — a small driver that repeatedly pops events and hands them
+//!   to a user-supplied dispatcher.
+//! * [`stats`] — counters, histograms, busy-time trackers and time series
+//!   used to produce the paper's figures.
+//! * [`resource`] — serialized-bandwidth and FIFO-server resource models
+//!   used by links, buses, and flash channels.
+//! * [`rng`] — a tiny deterministic pseudo-random number generator so that
+//!   every experiment is exactly reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use fa_sim::event::EventQueue;
+//! use fa_sim::time::SimTime;
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.push(SimTime::from_ns(20), "late");
+//! q.push(SimTime::from_ns(10), "early");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!(t, SimTime::from_ns(10));
+//! assert_eq!(ev, "early");
+//! ```
+
+pub mod engine;
+pub mod event;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use engine::{Engine, StepOutcome};
+pub use event::EventQueue;
+pub use resource::{FifoServer, SerializedResource};
+pub use rng::DeterministicRng;
+pub use stats::{Counter, Histogram, RunningStats, TimeSeries, UtilizationTracker};
+pub use time::{SimDuration, SimTime};

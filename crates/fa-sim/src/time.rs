@@ -1,0 +1,316 @@
+//! Simulated time.
+//!
+//! All components in the simulator agree on a single monotonically
+//! increasing clock with nanosecond resolution. A nanosecond matches the
+//! 1 GHz LWP clock of the paper's prototype (one core cycle == 1 ns) while
+//! still comfortably representing millisecond-scale flash program
+//! operations in a `u64`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute point in simulated time, in nanoseconds since simulation
+/// start.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; used as an "infinitely far" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant `ns` nanoseconds after the epoch.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Creates an instant `us` microseconds after the epoch.
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Creates an instant `ms` milliseconds after the epoch.
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Returns the number of whole nanoseconds since the epoch.
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the time since the epoch expressed in microseconds.
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Returns the time since the epoch expressed in seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Returns the duration elapsed since `earlier`, saturating to zero if
+    /// `earlier` is in the future.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Returns the later of `self` and `other`.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// Returns the earlier of `self` and `other`.
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+}
+
+impl SimDuration {
+    /// A zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration of `ns` nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Creates a duration of `us` microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Creates a duration of `ms` milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Creates a duration from a floating-point number of seconds, rounding
+    /// to the nearest nanosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid duration: {secs}");
+        SimDuration((secs * 1_000_000_000.0).round() as u64)
+    }
+
+    /// Creates a duration from a floating-point number of nanoseconds,
+    /// rounding to the nearest nanosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ns` is negative or not finite.
+    pub fn from_ns_f64(ns: f64) -> Self {
+        assert!(ns.is_finite() && ns >= 0.0, "invalid duration: {ns}");
+        SimDuration(ns.round() as u64)
+    }
+
+    /// Returns the number of whole nanoseconds in this duration.
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration in microseconds.
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Returns the duration in seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Returns true if this duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the larger of two durations.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two durations.
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.min(other.0))
+    }
+
+    /// Saturating subtraction of durations.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Returns the time needed to move `bytes` bytes at `bytes_per_sec`.
+    ///
+    /// A zero bandwidth yields [`SimDuration::ZERO`]; callers use this for
+    /// idealized (infinitely fast) paths.
+    pub fn for_transfer(bytes: u64, bytes_per_sec: f64) -> SimDuration {
+        if bytes_per_sec <= 0.0 || bytes == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_secs_f64(bytes as f64 / bytes_per_sec)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime subtraction underflow"),
+        )
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimDuration subtraction underflow"),
+        )
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Mul<f64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: f64) -> SimDuration {
+        SimDuration::from_ns_f64(self.0 as f64 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_us_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_us_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_round_trips() {
+        let t = SimTime::from_us(3);
+        let d = SimDuration::from_ns(500);
+        assert_eq!((t + d).as_ns(), 3_500);
+        assert_eq!(((t + d) - t).as_ns(), 500);
+    }
+
+    #[test]
+    fn conversions_are_consistent() {
+        assert_eq!(SimTime::from_ms(1).as_ns(), 1_000_000);
+        assert_eq!(SimTime::from_us(81).as_ns(), 81_000);
+        assert!((SimDuration::from_ms(2).as_secs_f64() - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_duration_matches_bandwidth() {
+        // 1 GiB/s over 1 MiB should take ~1/1024 s.
+        let d = SimDuration::for_transfer(1 << 20, (1u64 << 30) as f64);
+        assert!((d.as_secs_f64() - 1.0 / 1024.0).abs() < 1e-9);
+        assert_eq!(SimDuration::for_transfer(0, 1e9), SimDuration::ZERO);
+        assert_eq!(SimDuration::for_transfer(100, 0.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn saturating_since_clamps_to_zero() {
+        let a = SimTime::from_ns(10);
+        let b = SimTime::from_ns(20);
+        assert_eq!(a.saturating_since(b), SimDuration::ZERO);
+        assert_eq!(b.saturating_since(a).as_ns(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtraction_underflow_panics() {
+        let _ = SimTime::from_ns(1) - SimTime::from_ns(2);
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = SimDuration::from_us(10);
+        assert_eq!((d * 3).as_ns(), 30_000);
+        assert_eq!((d / 2).as_ns(), 5_000);
+        assert_eq!((d * 1.5).as_ns(), 15_000);
+    }
+
+    #[test]
+    fn duration_sum() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_ns).sum();
+        assert_eq!(total.as_ns(), 10);
+    }
+}

@@ -1,0 +1,238 @@
+//! Graph and big-data workloads used by the extended evaluation (§5.6).
+//!
+//! The paper selects five representative data-intensive applications from
+//! the Rodinia graph benchmarks and the Mars MapReduce suite: k-nearest
+//! neighbours (`nn`), breadth-first search (`bfs`), Needleman–Wunsch DNA
+//! sequence alignment (`nw`), grid path-finding (`path`), and MapReduce
+//! word count (`wc`). We model them analytically the same way as the
+//! PolyBench set: `bfs` and `nn` contain serial microblocks, while `nw` and
+//! `path` have none (both facts are stated in §5.6); `wc` gets a serial
+//! reduce phase after its parallel map phase.
+
+use fa_kernel::model::{AppId, Application, ApplicationBuilder, DataSection};
+use fa_platform::lwp::InstructionMix;
+use serde::{Deserialize, Serialize};
+
+/// The five graph/big-data benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum BigDataBench {
+    Bfs,
+    WordCount,
+    Nn,
+    Nw,
+    Path,
+}
+
+/// Modelled characteristics of one benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BigDataRow {
+    /// Which benchmark.
+    pub bench: BigDataBench,
+    /// Printed name.
+    pub name: &'static str,
+    /// Description.
+    pub description: &'static str,
+    /// Microblocks in the kernel.
+    pub microblocks: usize,
+    /// Serial microblocks.
+    pub serial_microblocks: usize,
+    /// Input megabytes per instance (unscaled).
+    pub input_mb: u64,
+    /// Load/store ratio.
+    pub ldst_ratio: f64,
+    /// Bytes per kilo-instruction.
+    pub bytes_per_kilo_instruction: f64,
+}
+
+/// All five benchmarks in the order Figure 16 lists them.
+pub fn bigdata_table() -> Vec<BigDataRow> {
+    use BigDataBench::*;
+    vec![
+        BigDataRow {
+            bench: Bfs,
+            name: "bfs",
+            description: "Breadth-first graph traversal",
+            microblocks: 3,
+            serial_microblocks: 1,
+            input_mb: 1024,
+            ldst_ratio: 0.52,
+            bytes_per_kilo_instruction: 61.0,
+        },
+        BigDataRow {
+            bench: WordCount,
+            name: "wc",
+            description: "MapReduce word count",
+            microblocks: 2,
+            serial_microblocks: 1,
+            input_mb: 1536,
+            ldst_ratio: 0.44,
+            bytes_per_kilo_instruction: 55.0,
+        },
+        BigDataRow {
+            bench: Nn,
+            name: "nn",
+            description: "k-nearest-neighbour search",
+            microblocks: 2,
+            serial_microblocks: 1,
+            input_mb: 768,
+            ldst_ratio: 0.47,
+            bytes_per_kilo_instruction: 48.0,
+        },
+        BigDataRow {
+            bench: Nw,
+            name: "nw",
+            description: "Needleman-Wunsch DNA sequence alignment",
+            microblocks: 2,
+            serial_microblocks: 0,
+            input_mb: 1024,
+            ldst_ratio: 0.41,
+            bytes_per_kilo_instruction: 42.0,
+        },
+        BigDataRow {
+            bench: Path,
+            name: "path",
+            description: "Grid traversal (pathfinder)",
+            microblocks: 2,
+            serial_microblocks: 0,
+            input_mb: 1024,
+            ldst_ratio: 0.38,
+            bytes_per_kilo_instruction: 45.0,
+        },
+    ]
+}
+
+/// Names in Figure 16 order.
+pub fn bigdata_names() -> Vec<&'static str> {
+    bigdata_table().iter().map(|r| r.name).collect()
+}
+
+/// Output fraction of these workloads (results are small relative to the
+/// scanned inputs).
+const OUTPUT_FRACTION: f64 = 0.0625;
+/// Screens per parallel microblock.
+const SCREENS_PER_PARALLEL_MICROBLOCK: usize = 8;
+/// Multiplier share of the instruction stream.
+const MUL_RATIO: f64 = 0.08;
+/// Relative weight of a serial microblock (reduce/merge phases) compared to
+/// a parallel one (map/expand phases).
+const SERIAL_MICROBLOCK_WEIGHT: f64 = 0.2;
+
+/// Builds the analytic application for one benchmark with the given data
+/// scale divisor.
+///
+/// # Panics
+///
+/// Panics if `data_scale` is zero.
+pub fn bigdata_app(bench: BigDataBench, data_scale: u64) -> Application {
+    assert!(data_scale > 0, "data_scale must be positive");
+    let row = bigdata_table()
+        .into_iter()
+        .find(|r| r.bench == bench)
+        .expect("all benches are in the table");
+    let input_bytes = (row.input_mb * 1024 * 1024) / data_scale;
+    let output_bytes = (input_bytes as f64 * OUTPUT_FRACTION) as u64;
+    let total_instructions =
+        ((input_bytes + output_bytes) as f64 / row.bytes_per_kilo_instruction * 1_000.0) as u64;
+    // The parallel phases come first (map/expand), the serial phases last
+    // (reduce/frontier merge), which is where these workloads serialize.
+    // Serial phases carry a small share of the total work.
+    let parallel_blocks = row.microblocks - row.serial_microblocks;
+    let weights: Vec<f64> = (0..row.microblocks)
+        .map(|i| {
+            if i < parallel_blocks {
+                1.0
+            } else {
+                SERIAL_MICROBLOCK_WEIGHT
+            }
+        })
+        .collect();
+    let weight_sum: f64 = weights.iter().sum();
+    let blocks: Vec<(usize, InstructionMix, u64, u64)> = weights
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            let share = w / weight_sum;
+            let screens = if i < parallel_blocks {
+                SCREENS_PER_PARALLEL_MICROBLOCK
+            } else {
+                1
+            };
+            let mix = InstructionMix::new(
+                (total_instructions as f64 * share) as u64,
+                row.ldst_ratio,
+                MUL_RATIO,
+            );
+            (
+                screens,
+                mix,
+                (input_bytes as f64 * share) as u64,
+                (output_bytes as f64 * share) as u64,
+            )
+        })
+        .collect();
+    ApplicationBuilder::new(row.name)
+        .kernel(
+            format!("{}-k0", row.name),
+            DataSection {
+                flash_base: 0,
+                input_bytes,
+                output_bytes,
+            },
+            &blocks,
+        )
+        .build(AppId(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_lists_the_five_section56_benchmarks() {
+        let names = bigdata_names();
+        assert_eq!(names, vec!["bfs", "wc", "nn", "nw", "path"]);
+    }
+
+    #[test]
+    fn serial_structure_matches_section56() {
+        // §5.6: bfs and nn have serial microblocks; nw and path do not.
+        for row in bigdata_table() {
+            match row.bench {
+                BigDataBench::Nw | BigDataBench::Path => {
+                    assert_eq!(row.serial_microblocks, 0, "{}", row.name)
+                }
+                _ => assert!(row.serial_microblocks >= 1, "{}", row.name),
+            }
+        }
+    }
+
+    #[test]
+    fn all_bigdata_apps_are_data_intensive() {
+        for row in bigdata_table() {
+            let app = bigdata_app(row.bench, 16);
+            assert!(
+                app.kernels[0].bytes_per_kilo_instruction() >= 20.0,
+                "{} should be data-intensive",
+                row.name
+            );
+        }
+    }
+
+    #[test]
+    fn app_microblock_counts_match_table() {
+        for row in bigdata_table() {
+            let app = bigdata_app(row.bench, 16);
+            assert_eq!(app.kernels[0].microblocks.len(), row.microblocks);
+            assert_eq!(app.kernels[0].serial_microblocks(), row.serial_microblocks);
+        }
+    }
+
+    #[test]
+    fn parallel_phases_precede_serial_phases() {
+        let app = bigdata_app(BigDataBench::WordCount, 16);
+        let blocks = &app.kernels[0].microblocks;
+        assert!(!blocks[0].is_serial());
+        assert!(blocks[1].is_serial());
+    }
+}

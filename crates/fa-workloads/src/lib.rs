@@ -1,0 +1,28 @@
+//! Workload suite for the FlashAbacus evaluation.
+//!
+//! The paper evaluates three groups of workloads:
+//!
+//! * **PolyBench-derived kernels** (Table 2): fourteen linear-algebra and
+//!   stencil benchmarks (ATAX, BICG, 2DCONV, MVT, ADI, FDTD, GESUM, SYRK,
+//!   3MM, COVAR, GEMM, 2MM, SYR2K, CORR), each characterised by its
+//!   microblock count, number of serial microblocks, input size, load/store
+//!   ratio, and bytes-per-kilo-instruction.
+//! * **Heterogeneous mixes** MX1–MX14 (the right half of Table 2): fourteen
+//!   combinations of six applications each.
+//! * **Graph / big-data applications** (§5.6): k-nearest neighbours,
+//!   breadth-first search, Needleman–Wunsch DNA alignment, grid pathfinding,
+//!   and MapReduce word count.
+//!
+//! All workloads are *analytic* models built on `fa-kernel`: what the
+//! schedulers consume is microblock/screen structure, instruction mixes,
+//! and data-section footprints — precisely the columns of Table 2.
+
+pub mod bigdata;
+pub mod mixes;
+pub mod polybench;
+pub mod synthetic;
+
+pub use bigdata::{bigdata_app, bigdata_names, BigDataBench};
+pub use mixes::{mix_apps, mix_composition, mix_names};
+pub use polybench::{polybench_app, polybench_names, polybench_table2, PolyBench, Table2Row};
+pub use synthetic::{synthetic_app, SyntheticSpec};

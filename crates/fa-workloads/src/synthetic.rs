@@ -1,0 +1,152 @@
+//! Parametric synthetic kernels.
+//!
+//! The motivation study of §3.1 (Figures 3b and 3c) sweeps the fraction of
+//! serialized execution in a kernel from 0 % to 50 % while varying the
+//! number of cores. This module provides the parametric kernel used for
+//! that sweep, plus a generic synthetic application handy in tests and
+//! examples.
+
+use fa_kernel::model::{AppId, Application, ApplicationBuilder, DataSection};
+use fa_platform::lwp::InstructionMix;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a synthetic application.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticSpec {
+    /// Total instructions in the kernel.
+    pub instructions: u64,
+    /// Fraction of the instructions that must execute serially
+    /// (`0.0..=1.0`).
+    pub serial_fraction: f64,
+    /// Input bytes read from flash.
+    pub input_bytes: u64,
+    /// Output bytes written to flash.
+    pub output_bytes: u64,
+    /// Load/store ratio of the instruction stream.
+    pub ldst_ratio: f64,
+    /// Multiplier ratio of the instruction stream.
+    pub mul_ratio: f64,
+    /// Screens used for the parallel portion.
+    pub parallel_screens: usize,
+}
+
+impl Default for SyntheticSpec {
+    fn default() -> Self {
+        SyntheticSpec {
+            instructions: 50_000_000,
+            serial_fraction: 0.0,
+            input_bytes: 64 << 20,
+            output_bytes: 8 << 20,
+            ldst_ratio: 0.40,
+            mul_ratio: 0.10,
+            parallel_screens: 8,
+        }
+    }
+}
+
+impl SyntheticSpec {
+    /// The sweep points of Figure 3b/3c: serial fractions from 0 % to 50 %.
+    pub fn figure3_serial_fractions() -> Vec<f64> {
+        vec![0.0, 0.1, 0.2, 0.3, 0.4, 0.5]
+    }
+}
+
+/// Builds a synthetic application: one kernel with a serial microblock (if
+/// `serial_fraction > 0`) followed by a fully parallel microblock.
+pub fn synthetic_app(name: &str, spec: &SyntheticSpec) -> Application {
+    let serial_fraction = spec.serial_fraction.clamp(0.0, 1.0);
+    let serial_instr = (spec.instructions as f64 * serial_fraction) as u64;
+    let parallel_instr = spec.instructions - serial_instr;
+    let serial_bytes_in = (spec.input_bytes as f64 * serial_fraction) as u64;
+    let parallel_bytes_in = spec.input_bytes - serial_bytes_in;
+    let serial_bytes_out = (spec.output_bytes as f64 * serial_fraction) as u64;
+    let parallel_bytes_out = spec.output_bytes - serial_bytes_out;
+
+    let mut blocks: Vec<(usize, InstructionMix, u64, u64)> = Vec::new();
+    if serial_instr > 0 {
+        blocks.push((
+            1,
+            InstructionMix::new(serial_instr, spec.ldst_ratio, spec.mul_ratio),
+            serial_bytes_in,
+            serial_bytes_out,
+        ));
+    }
+    if parallel_instr > 0 || blocks.is_empty() {
+        blocks.push((
+            spec.parallel_screens.max(1),
+            InstructionMix::new(parallel_instr, spec.ldst_ratio, spec.mul_ratio),
+            parallel_bytes_in,
+            parallel_bytes_out,
+        ));
+    }
+    ApplicationBuilder::new(name)
+        .kernel(
+            format!("{name}-k0"),
+            DataSection {
+                flash_base: 0,
+                input_bytes: spec.input_bytes,
+                output_bytes: spec.output_bytes,
+            },
+            &blocks,
+        )
+        .build(AppId(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_serial_fraction_yields_single_parallel_microblock() {
+        let app = synthetic_app("S", &SyntheticSpec::default());
+        assert_eq!(app.kernels[0].microblocks.len(), 1);
+        assert!(!app.kernels[0].microblocks[0].is_serial());
+    }
+
+    #[test]
+    fn nonzero_serial_fraction_adds_serial_microblock() {
+        let spec = SyntheticSpec {
+            serial_fraction: 0.3,
+            ..Default::default()
+        };
+        let app = synthetic_app("S", &spec);
+        assert_eq!(app.kernels[0].microblocks.len(), 2);
+        assert!(app.kernels[0].microblocks[0].is_serial());
+        let serial_instr = app.kernels[0].microblocks[0].instructions();
+        let total = app.kernels[0].instructions();
+        let frac = serial_instr as f64 / total as f64;
+        assert!((frac - 0.3).abs() < 0.01, "serial fraction {frac}");
+    }
+
+    #[test]
+    fn figure3_sweep_points_match_paper() {
+        assert_eq!(
+            SyntheticSpec::figure3_serial_fractions(),
+            vec![0.0, 0.1, 0.2, 0.3, 0.4, 0.5]
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn instructions_are_conserved(frac in 0.0f64..1.0) {
+            let spec = SyntheticSpec { serial_fraction: frac, ..Default::default() };
+            let app = synthetic_app("S", &spec);
+            let total = app.kernels[0].instructions();
+            let expected = spec.instructions;
+            // Rounding across screens may drop a few instructions.
+            prop_assert!((total as i64 - expected as i64).abs() < 64,
+                "total {total} expected {expected}");
+        }
+
+        #[test]
+        fn data_sections_are_conserved(frac in 0.0f64..1.0) {
+            let spec = SyntheticSpec { serial_fraction: frac, ..Default::default() };
+            let app = synthetic_app("S", &spec);
+            prop_assert_eq!(
+                app.kernels[0].data_section.total_bytes(),
+                spec.input_bytes + spec.output_bytes
+            );
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based integration tests over randomly generated workloads: the
+//! invariants that must hold for *any* batch, not just the paper's.
+
+use flashabacus_suite::prelude::*;
+use proptest::prelude::*;
+
+/// Builds a randomized application from generated parameters.
+fn build_app(
+    name: &str,
+    instructions: u64,
+    serial_fraction: f64,
+    input_kb: u64,
+    ldst_ratio: f64,
+    screens: usize,
+) -> Application {
+    synthetic_app(
+        name,
+        &SyntheticSpec {
+            instructions,
+            serial_fraction,
+            input_bytes: input_kb * 1024,
+            output_bytes: input_kb * 128,
+            ldst_ratio,
+            mul_ratio: 0.1,
+            parallel_screens: screens,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every policy completes every generated batch, reports one latency
+    /// record per kernel, and never loses track of data volume.
+    #[test]
+    fn every_policy_completes_every_batch(
+        instances in 1usize..5,
+        instructions in 50_000u64..2_000_000,
+        serial_fraction in 0.0f64..0.6,
+        input_kb in 16u64..512,
+        ldst_ratio in 0.2f64..0.55,
+        screens in 1usize..8,
+    ) {
+        let template = build_app("prop", instructions, serial_fraction, input_kb, ldst_ratio, screens);
+        let apps = instantiate_many(&[template], &InstancePlan {
+            instances_per_app: instances,
+            ..Default::default()
+        });
+        let expected_bytes: u64 = apps.iter().map(|a| a.flash_bytes()).sum();
+        for policy in SchedulerPolicy::all() {
+            let mut system = FlashAbacusSystem::new(FlashAbacusConfig::tiny_for_tests(policy));
+            let out = system.run(&apps).expect("run completes");
+            prop_assert_eq!(out.kernel_latencies.len(), instances);
+            prop_assert_eq!(out.bytes_processed, expected_bytes);
+            prop_assert!(out.finished_at.as_secs_f64() > 0.0);
+            // Kernel completions never precede their offload.
+            for k in &out.kernel_latencies {
+                prop_assert!(k.completed_at >= k.offloaded_at);
+            }
+            // Utilization is a fraction.
+            for u in &out.worker_utilization {
+                prop_assert!((0.0..=1.0).contains(u));
+            }
+            // Energy categories are non-negative.
+            prop_assert!(out.energy.breakdown.computation_j >= 0.0);
+            prop_assert!(out.energy.breakdown.storage_access_j >= 0.0);
+            prop_assert!(out.energy.breakdown.data_movement_j >= 0.0);
+        }
+    }
+
+    /// The out-of-order intra-kernel scheduler never finishes later than the
+    /// in-order one on the same batch: borrowing screens can only help.
+    #[test]
+    fn out_of_order_never_loses_to_in_order(
+        instances in 2usize..6,
+        serial_fraction in 0.0f64..0.7,
+        input_kb in 16u64..256,
+    ) {
+        let template = build_app("o3", 400_000, serial_fraction, input_kb, 0.4, 4);
+        let apps = instantiate_many(&[template], &InstancePlan {
+            instances_per_app: instances,
+            ..Default::default()
+        });
+        let mut io = FlashAbacusSystem::new(FlashAbacusConfig::tiny_for_tests(SchedulerPolicy::IntraIo));
+        let mut o3 = FlashAbacusSystem::new(FlashAbacusConfig::tiny_for_tests(SchedulerPolicy::IntraO3));
+        let io_out = io.run(&apps).expect("in-order completes");
+        let o3_out = o3.run(&apps).expect("out-of-order completes");
+        prop_assert!(
+            o3_out.finished_at <= io_out.finished_at,
+            "IntraO3 {:?} finished after IntraIo {:?}",
+            o3_out.finished_at,
+            io_out.finished_at
+        );
+    }
+
+    /// The conventional baseline also completes any generated batch, and its
+    /// time breakdown accounts for every phase.
+    #[test]
+    fn baseline_time_breakdown_is_consistent(
+        instances in 1usize..4,
+        serial_fraction in 0.0f64..0.5,
+        input_kb in 64u64..1024,
+    ) {
+        let template = build_app("base", 600_000, serial_fraction, input_kb, 0.4, 8);
+        let apps = instantiate_many(&[template], &InstancePlan {
+            instances_per_app: instances,
+            ..Default::default()
+        });
+        let mut system = ConventionalSystem::new(BaselineConfig::paper_baseline());
+        let out = system.run(&apps);
+        prop_assert_eq!(out.kernel_latencies.len(), instances);
+        let (a, s, h) = out.time_breakdown.fractions();
+        prop_assert!(a > 0.0 && s > 0.0 && h > 0.0);
+        prop_assert!((a + s + h - 1.0).abs() < 1e-9);
+        prop_assert!(out.host_cpu_utilization >= 0.0 && out.host_cpu_utilization <= 1.0);
+    }
+}
