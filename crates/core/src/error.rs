@@ -77,9 +77,7 @@ mod tests {
         let e: FaError = FlashError::OutOfRange(PhysicalPageAddr::new(0, 0, 0, 0)).into();
         assert!(matches!(e, FaError::Flash(_)));
         assert!(e.to_string().contains("flash backbone"));
-        assert!(FaError::UnmappedAddress(0x40)
-            .to_string()
-            .contains("0x40"));
+        assert!(FaError::UnmappedAddress(0x40).to_string().contains("0x40"));
         assert!(FaError::RangeConflict { range: (0, 10) }
             .to_string()
             .contains("[0, 10)"));

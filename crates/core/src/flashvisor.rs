@@ -238,11 +238,7 @@ impl Flashvisor {
     fn group_pages(&self, group: u64) -> Vec<PhysicalPageAddr> {
         let pages = self.config.pages_per_group();
         (0..pages)
-            .map(|i| {
-                self.config
-                    .flash_geometry
-                    .flat_to_addr(group * pages + i)
-            })
+            .map(|i| self.config.flash_geometry.flat_to_addr(group * pages + i))
             .collect()
     }
 
@@ -292,9 +288,9 @@ impl Flashvisor {
             scratchpad.access(cursor, lg * 4, 4);
             cursor = self.charge_cpu(cursor, self.config.flashvisor_request_cycles);
             self.stats.mapping_lookups += 1;
-            let pg = self.logical_slot(lg)?.ok_or(FaError::UnmappedAddress(
-                lg * self.config.page_group_bytes,
-            ))?;
+            let pg = self
+                .logical_slot(lg)?
+                .ok_or(FaError::UnmappedAddress(lg * self.config.page_group_bytes))?;
             for addr in self.group_pages(pg) {
                 let completion = self.backbone.submit(cursor, FlashCommand::read(addr))?;
                 finished = finished.max(completion.finished);
@@ -426,7 +422,9 @@ mod tests {
     fn preload_then_read_round_trips() {
         let (mut v, mut sp) = visor();
         v.preload_range(0, 64 * 1024).unwrap();
-        let t = v.read_section(SimTime::ZERO, 0, 64 * 1024, &mut sp).unwrap();
+        let t = v
+            .read_section(SimTime::ZERO, 0, 64 * 1024, &mut sp)
+            .unwrap();
         assert!(t.finished > SimTime::ZERO);
         assert_eq!(t.groups, 8); // 64 KB at 8 KB groups in the tiny config.
         assert_eq!(v.stats().group_reads, 8);
@@ -446,7 +444,8 @@ mod tests {
     fn writes_allocate_log_structured_groups_and_invalidate_old() {
         let (mut v, mut sp) = visor();
         let before = v.free_physical_groups();
-        v.write_section(SimTime::ZERO, 0, 16 * 1024, &mut sp).unwrap();
+        v.write_section(SimTime::ZERO, 0, 16 * 1024, &mut sp)
+            .unwrap();
         assert_eq!(v.free_physical_groups(), before - 2);
         // Overwriting the same logical range allocates fresh groups and
         // invalidates the old ones.
@@ -460,7 +459,8 @@ mod tests {
     #[test]
     fn mapping_survives_and_is_remappable() {
         let (mut v, mut sp) = visor();
-        v.write_section(SimTime::ZERO, 0, 8 * 1024, &mut sp).unwrap();
+        v.write_section(SimTime::ZERO, 0, 8 * 1024, &mut sp)
+            .unwrap();
         let pg = v.physical_group_of(0).unwrap();
         let old = v.remap_group(0, pg + 100).unwrap();
         assert_eq!(old, pg);
@@ -483,7 +483,9 @@ mod tests {
     fn flashvisor_cpu_serializes_requests() {
         let (mut v, mut sp) = visor();
         v.preload_range(0, 256 * 1024).unwrap();
-        let a = v.read_section(SimTime::ZERO, 0, 128 * 1024, &mut sp).unwrap();
+        let a = v
+            .read_section(SimTime::ZERO, 0, 128 * 1024, &mut sp)
+            .unwrap();
         let b = v
             .read_section(SimTime::ZERO, 128 * 1024, 128 * 1024, &mut sp)
             .unwrap();

@@ -91,7 +91,12 @@ impl RangeLockTable {
 
     /// Returns the lock (if any) that would conflict with mapping
     /// `[start, end)` in `mode`.
-    pub fn find_conflict(&self, start: u64, end: u64, mode: LockMode) -> Option<(u64, u64, LockMode)> {
+    pub fn find_conflict(
+        &self,
+        start: u64,
+        end: u64,
+        mode: LockMode,
+    ) -> Option<(u64, u64, LockMode)> {
         if start >= end {
             return None;
         }
@@ -105,7 +110,13 @@ impl RangeLockTable {
     /// `None` when the range conflicts with an existing lock (the request
     /// must be retried after the conflicting kernel unmaps, exactly as
     /// Flashvisor blocks the mapping message).
-    pub fn try_acquire(&mut self, start: u64, end: u64, mode: LockMode, owner: u32) -> Option<LockId> {
+    pub fn try_acquire(
+        &mut self,
+        start: u64,
+        end: u64,
+        mode: LockMode,
+        owner: u32,
+    ) -> Option<LockId> {
         if start >= end {
             return None;
         }
@@ -210,7 +221,7 @@ mod tests {
     fn find_conflict_reports_the_blocking_range() {
         let mut t = RangeLockTable::new();
         t.try_acquire(100, 200, LockMode::Write, 1).unwrap();
-        let c = t.find_conflict(150, 160, LockMode::Read, ).unwrap();
+        let c = t.find_conflict(150, 160, LockMode::Read).unwrap();
         assert_eq!(c, (100, 200, LockMode::Write));
         assert!(t.find_conflict(200, 300, LockMode::Read).is_none());
     }

@@ -78,7 +78,12 @@ pub struct KernelRef {
 pub fn all_kernels(apps: &[Application]) -> Vec<KernelRef> {
     apps.iter()
         .enumerate()
-        .flat_map(|(ai, a)| (0..a.kernels.len()).map(move |ki| KernelRef { app: ai, kernel: ki }))
+        .flat_map(|(ai, a)| {
+            (0..a.kernels.len()).map(move |ki| KernelRef {
+                app: ai,
+                kernel: ki,
+            })
+        })
         .collect()
 }
 
@@ -110,9 +115,7 @@ pub fn intra_ready_screens(policy: SchedulerPolicy, chain: &ExecutionChain) -> V
                 Some((app, kernel, microblock)) => chain
                     .ready_screens()
                     .into_iter()
-                    .filter(|r| {
-                        r.app == app && r.kernel == kernel && r.microblock == microblock
-                    })
+                    .filter(|r| r.app == app && r.kernel == kernel && r.microblock == microblock)
                     .collect(),
                 None => Vec::new(),
             }
@@ -196,7 +199,10 @@ mod tests {
         assert!(intra_ready_screens(SchedulerPolicy::IntraIo, &chain)
             .iter()
             .all(|r| r.app == 1));
-        assert_eq!(intra_ready_screens(SchedulerPolicy::IntraO3, &chain).len(), 2);
+        assert_eq!(
+            intra_ready_screens(SchedulerPolicy::IntraO3, &chain).len(),
+            2
+        );
         chain.mark_done(head, SimTime::from_us(1));
         let io = intra_ready_screens(SchedulerPolicy::IntraIo, &chain);
         assert!(io.iter().all(|r| r.app == 0 && r.microblock == 1));

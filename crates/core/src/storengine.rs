@@ -124,7 +124,8 @@ impl Storengine {
             let i = self.journal_cursor;
             self.journal_cursor += 1;
             let channel = (i % geometry.channels as u64) as usize;
-            let die = ((i / geometry.channels as u64) % geometry.dies_per_channel() as u64) as usize;
+            let die =
+                ((i / geometry.channels as u64) % geometry.dies_per_channel() as u64) as usize;
             let block = geometry.blocks_per_die() - 1;
             let page = ((i / (geometry.channels * geometry.dies_per_channel()) as u64)
                 % geometry.pages_per_block as u64) as usize;
@@ -329,7 +330,8 @@ mod tests {
         // Fill a few logical groups, then overwrite them so their old
         // physical groups become garbage.
         let group = v.config().page_group_bytes;
-        v.write_section(SimTime::ZERO, 0, 4 * group, &mut sp).unwrap();
+        v.write_section(SimTime::ZERO, 0, 4 * group, &mut sp)
+            .unwrap();
         v.write_section(SimTime::from_ms(1), 0, 4 * group, &mut sp)
             .unwrap();
         let free_before = v.free_physical_groups();

@@ -172,8 +172,10 @@ impl FlashAbacusSystem {
         // Phase 0: the input data already resides in the flash backbone.
         for app in apps {
             for kernel in &app.kernels {
-                self.flashvisor
-                    .preload_range(kernel.data_section.flash_base, kernel.data_section.input_bytes)?;
+                self.flashvisor.preload_range(
+                    kernel.data_section.flash_base,
+                    kernel.data_section.input_bytes,
+                )?;
             }
         }
 
@@ -501,13 +503,8 @@ impl FlashAbacusSystem {
                 let mut available: Vec<usize> = (0..worker_count)
                     .filter(|w| worker_state[*w].in_flight < WORKER_QUEUE_DEPTH)
                     .collect();
-                available.sort_by_key(|w| {
-                    (
-                        worker_state[*w].in_flight,
-                        worker_state[*w].free_at,
-                        *w,
-                    )
-                });
+                available
+                    .sort_by_key(|w| (worker_state[*w].in_flight, worker_state[*w].free_at, *w));
                 let mut dispatched = false;
                 for worker in available {
                     let picked = self.pick_screen(
@@ -572,15 +569,10 @@ impl FlashAbacusSystem {
                             // The DDR3L write buffer holds the output; the
                             // flash programs happen once the batch is done so
                             // they do not block other kernels' reads.
-                            deferred_flushes
-                                .push((kernel.data_section.flash_base, output_slice));
+                            deferred_flushes.push((kernel.data_section.flash_base, output_slice));
                             c.end
                         } else {
-                            self.flush_output(
-                                c.end,
-                                kernel.data_section.flash_base,
-                                &output_slice,
-                            )?
+                            self.flush_output(c.end, kernel.data_section.flash_base, &output_slice)?
                         }
                     } else {
                         c.end
@@ -627,7 +619,10 @@ impl FlashAbacusSystem {
                     app_name: app.name.clone(),
                     app_index: ai,
                     kernel_index: ki,
-                    offloaded_at: offload_times.get(&(ai, ki)).copied().unwrap_or(SimTime::ZERO),
+                    offloaded_at: offload_times
+                        .get(&(ai, ki))
+                        .copied()
+                        .unwrap_or(SimTime::ZERO),
                     completed_at: completed,
                 });
             }
@@ -675,9 +670,8 @@ impl FlashAbacusSystem {
         // LWPs/DDR3L/fabric as computation, and the flash backbone as
         // storage access.
         let power = &self.config.power;
-        let accel_idle_w = self.config.platform.lwp_count as f64 * power.lwp_idle_w
-            + power.ddr3l_idle_w
-            + 0.05;
+        let accel_idle_w =
+            self.config.platform.lwp_count as f64 * power.lwp_idle_w + power.ddr3l_idle_w + 0.05;
         let breakdown = self.energy.breakdown(finished_at).with_idle_redistributed(
             0.02,
             accel_idle_w,
@@ -845,8 +839,7 @@ mod tests {
     }
 
     fn run(policy: SchedulerPolicy, apps: &[Application]) -> RunOutcome {
-        let mut system =
-            FlashAbacusSystem::new(FlashAbacusConfig::tiny_for_tests(policy));
+        let mut system = FlashAbacusSystem::new(FlashAbacusConfig::tiny_for_tests(policy));
         system.run(apps).expect("run completes")
     }
 
@@ -938,13 +931,9 @@ mod tests {
 
     #[test]
     fn empty_workload_is_rejected() {
-        let mut system = FlashAbacusSystem::new(FlashAbacusConfig::tiny_for_tests(
-            SchedulerPolicy::IntraO3,
-        ));
-        assert!(matches!(
-            system.run(&[]),
-            Err(FaError::InvalidWorkload(_))
-        ));
+        let mut system =
+            FlashAbacusSystem::new(FlashAbacusConfig::tiny_for_tests(SchedulerPolicy::IntraO3));
+        assert!(matches!(system.run(&[]), Err(FaError::InvalidWorkload(_))));
     }
 
     #[test]

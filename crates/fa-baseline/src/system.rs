@@ -227,9 +227,8 @@ impl ConventionalSystem {
         // storage.
         let power = &self.config.power;
         let host_idle_w = power.host_cpu_idle_w + power.host_dram_idle_w + 0.02;
-        let accel_idle_w = self.config.platform.lwp_count as f64 * power.lwp_idle_w
-            + power.ddr3l_idle_w
-            + 0.05;
+        let accel_idle_w =
+            self.config.platform.lwp_count as f64 * power.lwp_idle_w + power.ddr3l_idle_w + 0.05;
         let breakdown = self.energy.breakdown(finished_at).with_idle_redistributed(
             host_idle_w,
             accel_idle_w,

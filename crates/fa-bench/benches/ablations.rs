@@ -39,11 +39,15 @@ fn ablation_pagegroup(c: &mut Criterion) {
     let apps = batch();
     let mut group = c.benchmark_group("ablation/page_group_bytes");
     for kb in [16u64, 64, 256] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{kb}KiB")), &kb, |b, kb| {
-            let mut config = FlashAbacusConfig::tiny_for_tests(SchedulerPolicy::IntraO3);
-            config.page_group_bytes = kb * 1024;
-            b.iter(|| criterion::black_box(run_with(config, &apps)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kb}KiB")),
+            &kb,
+            |b, kb| {
+                let mut config = FlashAbacusConfig::tiny_for_tests(SchedulerPolicy::IntraO3);
+                config.page_group_bytes = kb * 1024;
+                b.iter(|| criterion::black_box(run_with(config, &apps)))
+            },
+        );
     }
     group.finish();
 }

@@ -34,12 +34,16 @@ fn bench_policies(c: &mut Criterion) {
     let apps = small_batch();
     let mut group = c.benchmark_group("scheduler/full_run_6_instances");
     for policy in SchedulerPolicy::all() {
-        group.bench_with_input(BenchmarkId::from_parameter(policy.label()), &policy, |b, p| {
-            b.iter(|| {
-                let mut system = FlashAbacusSystem::new(FlashAbacusConfig::tiny_for_tests(*p));
-                criterion::black_box(system.run(&apps).unwrap());
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.label()),
+            &policy,
+            |b, p| {
+                b.iter(|| {
+                    let mut system = FlashAbacusSystem::new(FlashAbacusConfig::tiny_for_tests(*p));
+                    criterion::black_box(system.run(&apps).unwrap());
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -9,7 +9,10 @@ use flashabacus::SchedulerPolicy;
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    println!("FlashAbacus reproduction — full evaluation (data scale 1/{})\n", scale.data_scale);
+    println!(
+        "FlashAbacus reproduction — full evaluation (data scale 1/{})\n",
+        scale.data_scale
+    );
     println!("{}", tables::table1());
     println!("{}", tables::table2());
     println!("{}", fig3_motivation::report_sensitivity(scale));
@@ -25,7 +28,10 @@ fn main() {
     println!("{}", fig13_energy::report_homogeneous(&homogeneous));
     println!("{}", fig13_energy::report_heterogeneous(&heterogeneous));
     println!("{}", fig14_utilization::report_homogeneous(&homogeneous));
-    println!("{}", fig14_utilization::report_heterogeneous(&heterogeneous));
+    println!(
+        "{}",
+        fig14_utilization::report_heterogeneous(&heterogeneous)
+    );
     println!("{}", fig15_timeline::report(scale));
 
     let bigdata = Campaign::bigdata(scale);
@@ -38,8 +44,16 @@ fn main() {
         fig13_energy::mean_energy_saving(&heterogeneous, o3) * 100.0,
     );
     let mut ratios = Vec::new();
-    for w in homogeneous.workloads.iter().chain(heterogeneous.workloads.iter()) {
-        let campaign = if homogeneous.workloads.contains(w) { &homogeneous } else { &heterogeneous };
+    for w in homogeneous
+        .workloads
+        .iter()
+        .chain(heterogeneous.workloads.iter())
+    {
+        let campaign = if homogeneous.workloads.contains(w) {
+            &homogeneous
+        } else {
+            &heterogeneous
+        };
         let simd = campaign.expect(w, SystemKind::Simd).throughput_mb_s;
         let fa = campaign.expect(w, o3).throughput_mb_s;
         if simd > 0.0 {

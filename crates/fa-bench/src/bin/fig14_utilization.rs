@@ -6,5 +6,8 @@ fn main() {
     let homogeneous = Campaign::homogeneous(scale);
     println!("{}", fig14_utilization::report_homogeneous(&homogeneous));
     let heterogeneous = Campaign::heterogeneous(scale);
-    println!("{}", fig14_utilization::report_heterogeneous(&heterogeneous));
+    println!(
+        "{}",
+        fig14_utilization::report_heterogeneous(&heterogeneous)
+    );
 }

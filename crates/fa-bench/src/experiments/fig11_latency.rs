@@ -65,6 +65,9 @@ mod tests {
             workloads: vec!["nw".to_string()],
         };
         let r = report_homogeneous(&c);
-        assert!(r.contains("1.00/1.00/1.00"), "SIMD column should be 1.0:\n{r}");
+        assert!(
+            r.contains("1.00/1.00/1.00"),
+            "SIMD column should be 1.0:\n{r}"
+        );
     }
 }

@@ -6,12 +6,18 @@ use crate::runner::SystemKind;
 
 /// Renders Figure 14a (homogeneous workloads).
 pub fn report_homogeneous(campaign: &Campaign) -> String {
-    render(campaign, "Figure 14a: LWP utilization, homogeneous workloads")
+    render(
+        campaign,
+        "Figure 14a: LWP utilization, homogeneous workloads",
+    )
 }
 
 /// Renders Figure 14b (heterogeneous workloads).
 pub fn report_heterogeneous(campaign: &Campaign) -> String {
-    render(campaign, "Figure 14b: LWP utilization, heterogeneous workloads")
+    render(
+        campaign,
+        "Figure 14b: LWP utilization, heterogeneous workloads",
+    )
 }
 
 fn render(campaign: &Campaign, title: &str) -> String {

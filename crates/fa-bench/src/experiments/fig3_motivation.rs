@@ -53,9 +53,8 @@ pub fn report_sensitivity(scale: ExperimentScale) -> String {
                     ..Default::default()
                 },
             );
-            let mut system = ConventionalSystem::new(
-                BaselineConfig::paper_baseline().with_active_lwps(cores),
-            );
+            let mut system =
+                ConventionalSystem::new(BaselineConfig::paper_baseline().with_active_lwps(cores));
             let out = system.run(&apps);
             tput_row.push(f1(out.throughput_mb_s()));
             util_row.push(pct(out.mean_lwp_utilization()));

@@ -13,7 +13,13 @@ pub fn table1() -> String {
     let t = FlashTiming::paper_prototype();
     let mut table = Table::new(
         "Table 1: hardware specification of the baseline platform",
-        &["Component", "Specification", "Frequency / rate", "Typical power", "Est. bandwidth"],
+        &[
+            "Component",
+            "Specification",
+            "Frequency / rate",
+            "Typical power",
+            "Est. bandwidth",
+        ],
     );
     table.row(vec![
         "LWP".into(),
@@ -31,7 +37,11 @@ pub fn table1() -> String {
     ]);
     table.row(vec![
         "Scratchpad".into(),
-        format!("{} MB, {} banks", p.scratchpad_bytes >> 20, p.scratchpad_banks),
+        format!(
+            "{} MB, {} banks",
+            p.scratchpad_bytes >> 20,
+            p.scratchpad_banks
+        ),
         "500 MHz".into(),
         "-".into(),
         format!("{} GB/s", p.scratchpad_bytes_per_sec / 1e9),
@@ -88,7 +98,15 @@ pub fn table1() -> String {
 pub fn table2() -> String {
     let mut table = Table::new(
         "Table 2: workload characteristics",
-        &["Name", "MBLKs", "Serial MBLKs", "Input (MB)", "LD/ST ratio", "B/KI", "Class"],
+        &[
+            "Name",
+            "MBLKs",
+            "Serial MBLKs",
+            "Input (MB)",
+            "LD/ST ratio",
+            "B/KI",
+            "Class",
+        ],
     );
     for row in polybench_table2() {
         table.row(vec![
@@ -125,7 +143,14 @@ mod tests {
     #[test]
     fn table1_contains_every_component() {
         let t = table1();
-        for needle in ["LWP", "Scratchpad", "DDR3L", "Flash backbone", "PCIe", "Tier-1"] {
+        for needle in [
+            "LWP",
+            "Scratchpad",
+            "DDR3L",
+            "Flash backbone",
+            "PCIe",
+            "Tier-1",
+        ] {
             assert!(t.contains(needle), "missing {needle}");
         }
         assert!(t.contains("8 processors"));

@@ -193,7 +193,10 @@ mod tests {
     #[test]
     fn system_labels_match_the_paper() {
         let labels: Vec<&str> = SystemKind::all().iter().map(|s| s.label()).collect();
-        assert_eq!(labels, vec!["SIMD", "InterSt", "IntraIo", "InterDy", "IntraO3"]);
+        assert_eq!(
+            labels,
+            vec!["SIMD", "InterSt", "IntraIo", "InterDy", "IntraO3"]
+        );
     }
 
     #[test]

@@ -195,7 +195,11 @@ impl FlashBackbone {
     }
 
     /// Submits a command at `now` and returns its completion record.
-    pub fn submit(&mut self, now: SimTime, command: FlashCommand) -> Result<FlashCompletion, FlashError> {
+    pub fn submit(
+        &mut self,
+        now: SimTime,
+        command: FlashCommand,
+    ) -> Result<FlashCompletion, FlashError> {
         if !self.geometry.contains(command.addr) {
             return Err(FlashError::OutOfRange(command.addr));
         }
@@ -293,7 +297,9 @@ mod tests {
     fn read_after_program_succeeds_and_reports_latency() {
         let mut b = backbone();
         let addr = PhysicalPageAddr::new(0, 0, 0, 0);
-        let w = b.submit(SimTime::ZERO, FlashCommand::program(addr)).unwrap();
+        let w = b
+            .submit(SimTime::ZERO, FlashCommand::program(addr))
+            .unwrap();
         let r = b.submit(w.finished, FlashCommand::read(addr)).unwrap();
         assert!(r.latency() > SimDuration::ZERO);
         assert_eq!(b.stats().reads, 1);
@@ -316,7 +322,9 @@ mod tests {
         let c1 = b.submit(SimTime::ZERO, FlashCommand::program(a1)).unwrap();
         // Channel-level parallelism: both programs finish within a small
         // window of each other rather than back-to-back.
-        let spread = c1.finished.saturating_since(c0.finished)
+        let spread = c1
+            .finished
+            .saturating_since(c0.finished)
             .max(c0.finished.saturating_since(c1.finished));
         assert!(spread < FlashTiming::paper_prototype().program_page / 2);
     }
@@ -337,7 +345,8 @@ mod tests {
     fn erase_enables_rewrite_and_counts() {
         let mut b = backbone();
         let addr = PhysicalPageAddr::new(1, 0, 2, 0);
-        b.submit(SimTime::ZERO, FlashCommand::program(addr)).unwrap();
+        b.submit(SimTime::ZERO, FlashCommand::program(addr))
+            .unwrap();
         b.invalidate(addr).unwrap();
         assert_eq!(b.total_valid_pages(), 0);
         let e = b.submit(SimTime::ZERO, FlashCommand::erase(addr)).unwrap();
@@ -359,10 +368,16 @@ mod tests {
             1_000,
         );
         let c0 = b
-            .submit(SimTime::ZERO, FlashCommand::program(PhysicalPageAddr::new(0, 0, 0, 0)))
+            .submit(
+                SimTime::ZERO,
+                FlashCommand::program(PhysicalPageAddr::new(0, 0, 0, 0)),
+            )
             .unwrap();
         let c1 = b
-            .submit(SimTime::ZERO, FlashCommand::program(PhysicalPageAddr::new(1, 0, 0, 0)))
+            .submit(
+                SimTime::ZERO,
+                FlashCommand::program(PhysicalPageAddr::new(1, 0, 0, 0)),
+            )
             .unwrap();
         assert!(c1.finished > c0.finished);
         assert!(b.srio_utilization(c1.finished) > 0.9);

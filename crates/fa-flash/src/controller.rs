@@ -223,7 +223,11 @@ impl ChannelController {
     pub fn total_valid_pages(&self) -> usize {
         self.dies
             .iter()
-            .map(|d| (0..d.block_count()).map(|b| d.valid_pages_in(b)).sum::<usize>())
+            .map(|d| {
+                (0..d.block_count())
+                    .map(|b| d.valid_pages_in(b))
+                    .sum::<usize>()
+            })
             .sum()
     }
 
@@ -252,7 +256,9 @@ mod tests {
     fn program_then_read_completes_in_order() {
         let mut c = controller();
         let addr = PhysicalPageAddr::new(0, 0, 0, 0);
-        let wrote = c.execute(SimTime::ZERO, ChannelOp::Program, addr, None).unwrap();
+        let wrote = c
+            .execute(SimTime::ZERO, ChannelOp::Program, addr, None)
+            .unwrap();
         let read = c.execute(wrote, ChannelOp::Read, addr, None).unwrap();
         assert!(read > wrote);
         assert_eq!(c.stats().programs, 1);
@@ -276,8 +282,12 @@ mod tests {
         // Program one page on each die so reads are legal.
         let a0 = PhysicalPageAddr::new(0, 0, 0, 0);
         let a1 = PhysicalPageAddr::new(0, 1, 0, 0);
-        let d0 = c.execute(SimTime::ZERO, ChannelOp::Program, a0, None).unwrap();
-        let d1 = c.execute(SimTime::ZERO, ChannelOp::Program, a1, None).unwrap();
+        let d0 = c
+            .execute(SimTime::ZERO, ChannelOp::Program, a0, None)
+            .unwrap();
+        let d1 = c
+            .execute(SimTime::ZERO, ChannelOp::Program, a1, None)
+            .unwrap();
         let start = d0.max(d1);
         let r0 = c.execute(start, ChannelOp::Read, a0, None).unwrap();
         let r1 = c.execute(start, ChannelOp::Read, a1, None).unwrap();
@@ -313,9 +323,13 @@ mod tests {
         let mut last_wide = SimTime::ZERO;
         for p in 0..8 {
             let addr = PhysicalPageAddr::new(0, 0, 0, p);
-            last_narrow = narrow.execute(SimTime::ZERO, ChannelOp::Program, addr, None).unwrap();
+            last_narrow = narrow
+                .execute(SimTime::ZERO, ChannelOp::Program, addr, None)
+                .unwrap();
             let addr = PhysicalPageAddr::new(0, 0, 0, p);
-            last_wide = wide.execute(SimTime::ZERO, ChannelOp::Program, addr, None).unwrap();
+            last_wide = wide
+                .execute(SimTime::ZERO, ChannelOp::Program, addr, None)
+                .unwrap();
         }
         // With a single tag the controller admits commands one at a time, so
         // the final completion cannot be earlier than the wide queue's.

@@ -106,17 +106,26 @@ impl FlashDie {
 
     /// Returns the state of a page.
     pub fn page_state(&self, block: usize, page: usize) -> Option<PageState> {
-        self.blocks.get(block).and_then(|b| b.pages.get(page)).copied()
+        self.blocks
+            .get(block)
+            .and_then(|b| b.pages.get(page))
+            .copied()
     }
 
     /// Number of valid pages in `block`.
     pub fn valid_pages_in(&self, block: usize) -> usize {
-        self.blocks.get(block).map(BlockState::valid_pages).unwrap_or(0)
+        self.blocks
+            .get(block)
+            .map(BlockState::valid_pages)
+            .unwrap_or(0)
     }
 
     /// Number of still-programmable pages in `block`.
     pub fn free_pages_in(&self, block: usize) -> usize {
-        self.blocks.get(block).map(BlockState::free_pages).unwrap_or(0)
+        self.blocks
+            .get(block)
+            .map(BlockState::free_pages)
+            .unwrap_or(0)
     }
 
     /// Erase count of `block`.
@@ -141,9 +150,9 @@ impl FlashDie {
 
     fn check_block(&self, block: usize, page: usize) -> Result<(), FlashError> {
         if block >= self.blocks.len() || page >= self.pages_per_block {
-            return Err(FlashError::OutOfRange(crate::geometry::PhysicalPageAddr::new(
-                0, 0, block, page,
-            )));
+            return Err(FlashError::OutOfRange(
+                crate::geometry::PhysicalPageAddr::new(0, 0, block, page),
+            ));
         }
         Ok(())
     }

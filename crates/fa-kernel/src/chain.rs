@@ -373,10 +373,7 @@ mod tests {
     #[test]
     fn second_microblock_becomes_ready_after_first_completes() {
         let mut chain = ExecutionChain::new(&two_apps());
-        let first: Vec<ScreenRef> = chain
-            .ready_screens_of_kernel(0, 0)
-            .into_iter()
-            .collect();
+        let first: Vec<ScreenRef> = chain.ready_screens_of_kernel(0, 0).into_iter().collect();
         assert_eq!(first.len(), 2);
         assert!(!chain.microblock_eligible(0, 0, 1));
         for (i, r) in first.iter().enumerate() {

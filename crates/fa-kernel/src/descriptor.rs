@@ -95,8 +95,8 @@ const MIN_TEXT_BYTES: u64 = 4 * 1024;
 impl KernelDescriptionTable {
     /// Builds the description table for a kernel.
     pub fn for_kernel(kernel: &Kernel) -> Self {
-        let text = (kernel.instructions() / DYNAMIC_TO_STATIC_RATIO)
-            .clamp(MIN_TEXT_BYTES, MAX_TEXT_BYTES);
+        let text =
+            (kernel.instructions() / DYNAMIC_TO_STATIC_RATIO).clamp(MIN_TEXT_BYTES, MAX_TEXT_BYTES);
         KernelDescriptionTable {
             kernel_name: kernel.name.clone(),
             sections: vec![
@@ -157,7 +157,12 @@ mod tests {
                     input_bytes: 1 << 20,
                     output_bytes: 1 << 19,
                 },
-                &[(4, InstructionMix::new(1_000_000, 0.3, 0.1), 1 << 20, 1 << 19)],
+                &[(
+                    4,
+                    InstructionMix::new(1_000_000, 0.3, 0.1),
+                    1 << 20,
+                    1 << 19,
+                )],
             )
             .build(AppId(0));
         KernelDescriptionTable::for_kernel(&app.kernels[0])
@@ -174,7 +179,10 @@ mod tests {
         ] {
             assert!(t.section(kind).is_some(), "missing {kind:?}");
         }
-        assert_eq!(t.section(SectionKind::DataDdr3).unwrap().bytes, (1 << 20) + (1 << 19));
+        assert_eq!(
+            t.section(SectionKind::DataDdr3).unwrap().bytes,
+            (1 << 20) + (1 << 19)
+        );
     }
 
     #[test]

@@ -32,12 +32,20 @@ impl Crossbar {
 
     /// The prototype's tier-1 streaming crossbar (16 GB/s).
     pub fn tier1(spec: &PlatformSpec) -> Self {
-        Crossbar::new("tier1-xbar", spec.tier1_bytes_per_sec, SimDuration::from_ns(20))
+        Crossbar::new(
+            "tier1-xbar",
+            spec.tier1_bytes_per_sec,
+            SimDuration::from_ns(20),
+        )
     }
 
     /// The prototype's tier-2 peripheral crossbar (5.2 GB/s).
     pub fn tier2(spec: &PlatformSpec) -> Self {
-        Crossbar::new("tier2-xbar", spec.tier2_bytes_per_sec, SimDuration::from_ns(60))
+        Crossbar::new(
+            "tier2-xbar",
+            spec.tier2_bytes_per_sec,
+            SimDuration::from_ns(60),
+        )
     }
 
     /// Schedules a `bytes` transfer across the crossbar.
@@ -142,7 +150,10 @@ impl MessageQueue {
         }
         let start = if self.in_flight.len() >= self.capacity {
             self.dropped_backpressure += 1;
-            *self.in_flight.front().expect("queue full implies non-empty")
+            *self
+                .in_flight
+                .front()
+                .expect("queue full implies non-empty")
         } else {
             now
         };
@@ -290,7 +301,11 @@ mod tests {
         let mut ddr = SerializedResource::new("ddr3l", s.ddr3l_bytes_per_sec);
         let mut dma = DmaEngine::new();
         let bytes = 64u64 << 20;
-        let path = dma.transfer(SimTime::ZERO, bytes, &mut [&mut host_mem, &mut pcie, &mut ddr]);
+        let path = dma.transfer(
+            SimTime::ZERO,
+            bytes,
+            &mut [&mut host_mem, &mut pcie, &mut ddr],
+        );
         // The PCIe hop (1 GB/s) dominates: 64 MiB ≈ 67 ms; the full chain is
         // store-and-forward so it is strictly longer but within ~2x.
         let ms = path.latency().as_secs_f64() * 1e3;

@@ -253,7 +253,7 @@ mod tests {
         assert_eq!(a.start, SimTime::ZERO);
         assert_eq!(b.start, SimTime::from_us(81));
         assert_eq!(s.served(), 2);
-        assert_eq!(s.mean_wait().as_ns(), 81_000 / 2 * 1); // (0 + 81us)/2
+        assert_eq!(s.mean_wait().as_ns(), 81_000 / 2); // (0 + 81us)/2
     }
 
     #[test]

@@ -200,7 +200,11 @@ impl Histogram {
 
     /// Smallest sample, or 0 when empty.
     pub fn min(&self) -> f64 {
-        self.samples.iter().copied().fold(f64::INFINITY, f64::min).min(f64::INFINITY).then_or_zero()
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+        }
     }
 
     /// Largest sample, or 0 when empty.
@@ -208,22 +212,10 @@ impl Histogram {
         if self.samples.is_empty() {
             0.0
         } else {
-            self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
-        }
-    }
-}
-
-/// Helper to map the +inf sentinel from an empty fold back to zero.
-trait ThenOrZero {
-    fn then_or_zero(self) -> f64;
-}
-
-impl ThenOrZero for f64 {
-    fn then_or_zero(self) -> f64 {
-        if self.is_finite() {
-            self
-        } else {
-            0.0
+            self.samples
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max)
         }
     }
 }

@@ -155,7 +155,11 @@ mod tests {
             }
         }
         for (bench, expected) in MEMBERSHIP_COUNTS {
-            assert_eq!(counts.get(&bench).copied().unwrap_or(0), expected, "{bench:?}");
+            assert_eq!(
+                counts.get(&bench).copied().unwrap_or(0),
+                expected,
+                "{bench:?}"
+            );
         }
     }
 

@@ -368,11 +368,12 @@ mod tests {
             assert_eq!(app.kernels.len(), 1);
             let k = &app.kernels[0];
             assert_eq!(k.microblocks.len(), row.microblocks, "{}", row.name);
-            assert_eq!(k.serial_microblocks(), row.serial_microblocks.max(
-                // A benchmark with one microblock and no serial blocks still
-                // reports zero here; `max` keeps the comparison meaningful.
-                0,
-            ), "{}", row.name);
+            assert_eq!(
+                k.serial_microblocks(),
+                row.serial_microblocks,
+                "{}",
+                row.name
+            );
         }
     }
 
@@ -381,8 +382,8 @@ mod tests {
         for row in polybench_table2() {
             let app = polybench_app(row.bench, 16);
             let model_bki = app.kernels[0].bytes_per_kilo_instruction();
-            let rel_err = (model_bki - row.bytes_per_kilo_instruction).abs()
-                / row.bytes_per_kilo_instruction;
+            let rel_err =
+                (model_bki - row.bytes_per_kilo_instruction).abs() / row.bytes_per_kilo_instruction;
             assert!(
                 rel_err < 0.02,
                 "{}: model B/KI {model_bki:.2} vs table {:.2}",

@@ -51,9 +51,8 @@ fn main() {
             simd.energy.storage_access_j,
         );
 
-        let mut accelerator = FlashAbacusSystem::new(FlashAbacusConfig::paper_prototype(
-            SchedulerPolicy::IntraO3,
-        ));
+        let mut accelerator =
+            FlashAbacusSystem::new(FlashAbacusConfig::paper_prototype(SchedulerPolicy::IntraO3));
         let fa = accelerator.run(&apps).expect("run completes");
         println!(
             "{:<6}  {:<12}  {:>12.2}  {:>12.1}  {:>6.2}/{:>4.2}/{:>4.2}",

@@ -47,9 +47,18 @@ fn main() {
     // 4. Inspect the results.
     println!("FlashAbacus quickstart");
     println!("  scheduler            : {:?}", outcome.scheduler);
-    println!("  kernels completed    : {}", outcome.kernel_latencies.len());
-    println!("  total time           : {:.3} ms", outcome.finished_at.as_secs_f64() * 1e3);
-    println!("  throughput           : {:.1} MB/s", outcome.throughput_mb_s());
+    println!(
+        "  kernels completed    : {}",
+        outcome.kernel_latencies.len()
+    );
+    println!(
+        "  total time           : {:.3} ms",
+        outcome.finished_at.as_secs_f64() * 1e3
+    );
+    println!(
+        "  throughput           : {:.1} MB/s",
+        outcome.throughput_mb_s()
+    );
     let (min, avg, max) = outcome.latency_stats();
     println!(
         "  kernel latency        : min {:.3} ms / avg {:.3} ms / max {:.3} ms",

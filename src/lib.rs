@@ -32,9 +32,7 @@ pub mod prelude {
     pub use fa_workloads::bigdata::{bigdata_app, BigDataBench};
     pub use fa_workloads::polybench::{polybench_app, PolyBench};
     pub use fa_workloads::synthetic::{synthetic_app, SyntheticSpec};
-    pub use flashabacus::{
-        FlashAbacusConfig, FlashAbacusSystem, RunOutcome, SchedulerPolicy,
-    };
+    pub use flashabacus::{FlashAbacusConfig, FlashAbacusSystem, RunOutcome, SchedulerPolicy};
 }
 
 #[cfg(test)]

@@ -1,0 +1,31 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Strategy for `Vec`s whose length is drawn from `len` and whose elements
+/// are drawn from `element`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let len = if self.len.is_empty() {
+            self.len.start
+        } else {
+            self.len.sample(rng)
+        };
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Mirrors `proptest::collection::vec(element, size_range)`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}

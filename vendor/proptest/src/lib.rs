@@ -1,0 +1,121 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this shim reimplements
+//! the small slice of proptest this workspace uses: the `proptest!` test
+//! macro, range / tuple / vec / bool strategies, `prop_assert!` /
+//! `prop_assert_eq!`, and `ProptestConfig::with_cases`. Sampling is driven
+//! by a fixed-seed splitmix64 generator, so every run explores the same
+//! inputs — weaker than real proptest (no shrinking, no persistence) but
+//! fully deterministic and dependency-free.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The `prop` path proptest exposes through its prelude.
+pub mod prop {
+    pub use crate::collection;
+
+    /// Boolean strategies (`prop::bool::ANY`).
+    pub mod bool {
+        /// Strategy producing both booleans, alternating pseudo-randomly.
+        pub const ANY: crate::strategy::AnyBool = crate::strategy::AnyBool;
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{AnyBool, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares deterministic property tests.
+///
+/// Supports the subset of the real macro's grammar used in this workspace:
+/// an optional leading `#![proptest_config(...)]`, then one or more
+/// `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic();
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                #[allow(unreachable_code)]
+                let __run = || -> ::std::result::Result<(), ::std::string::String> {
+                    $body
+                    Ok(())
+                };
+                if let Err(msg) = __run() {
+                    panic!("property failed on case {__case}: {msg}");
+                }
+            }
+        }
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+}
+
+/// `assert!` that reports through the proptest failure path.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest failure path.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// `assert_ne!` that reports through the proptest failure path.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err(format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l
+            ));
+        }
+    }};
+}

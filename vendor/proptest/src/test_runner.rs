@@ -1,0 +1,49 @@
+//! Deterministic case generation for the shimmed `proptest!` macro.
+
+/// How many cases each property runs; mirrors `proptest::test_runner::Config`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; these properties drive full-system
+        // simulations per case, so the shim keeps the default modest.
+        Self { cases: 24 }
+    }
+}
+
+/// splitmix64 — tiny, uniform, and plenty for test-input sampling.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Fixed seed: every `cargo test` run explores identical inputs.
+    pub fn deterministic() -> Self {
+        Self {
+            state: 0x5eed_f1a5_4aba_c005_u64 ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}

@@ -1,0 +1,24 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this shim provides exactly the surface the workspace uses: the
+//! `Serialize` / `Deserialize` trait names and the matching derive macros.
+//! The derives expand to nothing — no code in the workspace serializes at
+//! runtime; the derive attributes exist so downstream consumers with the
+//! real serde can round-trip the config and outcome types.
+//!
+//! Swapping the real crate back in is a one-line change in the workspace
+//! `Cargo.toml` once a registry is reachable.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

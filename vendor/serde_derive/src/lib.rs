@@ -1,0 +1,17 @@
+//! No-op derive macros backing the offline `serde` shim.
+//!
+//! `#[derive(Serialize, Deserialize)]` must parse and expand for the
+//! workspace to build without crates.io access; nothing in the workspace
+//! calls serialization at runtime, so the expansion is empty.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
