@@ -93,7 +93,8 @@ pub fn static_assignment(app_index: usize, workers: usize) -> usize {
     app_index % workers.max(1)
 }
 
-/// Selects the screens an intra-kernel policy may dispatch right now.
+/// The next screen an intra-kernel policy would dispatch, without
+/// materializing the whole ready set.
 ///
 /// * `IntraIo` restricts dispatch to the earliest incomplete microblock of
 ///   the earliest incomplete kernel (strict program order); LWPs beyond
@@ -101,25 +102,45 @@ pub fn static_assignment(app_index: usize, workers: usize) -> usize {
 ///   microblock limitation the paper calls out.
 /// * `IntraO3` may dispatch any ready screen in the chain.
 ///
+/// Both answers come straight off the chain's incrementally maintained
+/// frontier, so the per-dispatch decision is O(log S) rather than a batch
+/// rescan.
+///
 /// # Panics
 ///
 /// Panics if called with an inter-kernel policy.
-pub fn intra_ready_screens(policy: SchedulerPolicy, chain: &ExecutionChain) -> Vec<ScreenRef> {
+pub fn intra_next_ready(policy: SchedulerPolicy, chain: &ExecutionChain) -> Option<ScreenRef> {
     match policy {
         SchedulerPolicy::IntraIo => {
             // Strict program order: only the globally earliest *incomplete*
             // microblock may contribute screens. While a serial microblock
             // is still executing, every other LWP idles — exactly the
             // limitation the paper attributes to in-order scheduling.
-            match chain.earliest_incomplete_microblock() {
-                Some((app, kernel, microblock)) => chain
-                    .ready_screens()
-                    .into_iter()
-                    .filter(|r| r.app == app && r.kernel == kernel && r.microblock == microblock)
-                    .collect(),
-                None => Vec::new(),
-            }
+            let (app, kernel, microblock) = chain.earliest_incomplete_microblock()?;
+            chain.next_ready_of_microblock(app, kernel, microblock)
         }
+        SchedulerPolicy::IntraO3 => chain.first_ready(),
+        other => panic!("{} is not an intra-kernel policy", other.label()),
+    }
+}
+
+/// Selects the screens an intra-kernel policy may dispatch right now, as a
+/// materialized list. Kept for tests, ablations, and oracles; the dispatch
+/// loop itself uses [`intra_next_ready`], which never builds the list.
+///
+/// # Panics
+///
+/// Panics if called with an inter-kernel policy.
+pub fn intra_ready_screens(policy: SchedulerPolicy, chain: &ExecutionChain) -> Vec<ScreenRef> {
+    match policy {
+        SchedulerPolicy::IntraIo => match chain.earliest_incomplete_microblock() {
+            Some((app, kernel, microblock)) => chain
+                .ready_screens_of_kernel(app, kernel)
+                .into_iter()
+                .filter(|r| r.microblock == microblock)
+                .collect(),
+            None => Vec::new(),
+        },
         SchedulerPolicy::IntraO3 => chain.ready_screens(),
         other => panic!("{} is not an intra-kernel policy", other.label()),
     }
@@ -213,5 +234,28 @@ mod tests {
     fn inter_policy_rejected_by_intra_helper() {
         let chain = ExecutionChain::new(&apps());
         intra_ready_screens(SchedulerPolicy::InterDy, &chain);
+    }
+
+    #[test]
+    fn intra_next_ready_is_the_head_of_the_materialized_list() {
+        let apps = apps();
+        let mut chain = ExecutionChain::new(&apps);
+        // Walk the whole batch to completion, checking the frontier-based
+        // single-screen answer against the materialized list at each step.
+        loop {
+            for policy in [SchedulerPolicy::IntraIo, SchedulerPolicy::IntraO3] {
+                assert_eq!(
+                    intra_next_ready(policy, &chain),
+                    intra_ready_screens(policy, &chain).first().copied(),
+                    "{policy:?}"
+                );
+            }
+            let Some(r) = intra_next_ready(SchedulerPolicy::IntraO3, &chain) else {
+                break;
+            };
+            chain.mark_running(r, 0);
+            chain.mark_done(r, SimTime::from_us(1));
+        }
+        assert!(chain.is_complete());
     }
 }

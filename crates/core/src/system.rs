@@ -23,7 +23,7 @@ use crate::error::FaError;
 use crate::flashvisor::Flashvisor;
 use crate::metrics::{EnergySummary, KernelLatency, RunOutcome};
 use crate::rangelock::LockMode;
-use crate::scheduler::{all_kernels, intra_ready_screens, static_assignment, SchedulerPolicy};
+use crate::scheduler::{all_kernels, intra_next_ready, static_assignment, SchedulerPolicy};
 use crate::storengine::Storengine;
 use fa_energy::{ActivityCategory, Component, EnergyAccountant};
 use fa_kernel::chain::{ExecutionChain, ScreenRef};
@@ -387,7 +387,8 @@ impl FlashAbacusSystem {
     /// Picks the screen an idle worker should run next under the configured
     /// policy, together with whether the dispatch must pay kernel-boot and
     /// IPC costs. Returns `None` when this worker has nothing to do right
-    /// now.
+    /// now. Every arm is a frontier lookup on the chain — no policy rescans
+    /// the batch, so a whole schedule of S screens does O(S) frontier work.
     #[allow(clippy::too_many_arguments)]
     fn pick_screen(
         &self,
@@ -400,18 +401,18 @@ impl FlashAbacusSystem {
     ) -> Option<(ScreenRef, bool)> {
         match self.config.scheduler {
             SchedulerPolicy::IntraIo | SchedulerPolicy::IntraO3 => {
-                let ready = intra_ready_screens(self.config.scheduler, chain);
-                ready.first().map(|s| (*s, true))
+                intra_next_ready(self.config.scheduler, chain).map(|s| (s, true))
             }
             SchedulerPolicy::InterSt | SchedulerPolicy::InterDy => {
                 // Continue the worker's current kernel if it still has work.
                 if let Some(kidx) = worker_state[worker].current_kernel {
                     let kref = kernel_list[kidx];
                     if chain.kernel_completion(kref.app, kref.kernel).is_none() {
-                        let ready = chain.ready_screens_of_kernel(kref.app, kref.kernel);
                         // The kernel runs as a single instruction stream: no
                         // per-screen IPC once the kernel is bootstrapped.
-                        return ready.first().map(|s| (*s, false));
+                        return chain
+                            .next_ready_of_kernel(kref.app, kref.kernel)
+                            .map(|s| (s, false));
                     }
                 }
                 // Otherwise adopt the next unstarted kernel this worker may
@@ -433,9 +434,10 @@ impl FlashAbacusSystem {
                     }
                     kernel_taken[kidx] = true;
                     worker_state[worker].current_kernel = Some(kidx);
-                    let ready = chain.ready_screens_of_kernel(kref.app, kref.kernel);
                     // A freshly adopted kernel pays boot + IPC.
-                    return ready.first().map(|s| (*s, true));
+                    return chain
+                        .next_ready_of_kernel(kref.app, kref.kernel)
+                        .map(|s| (s, true));
                 }
                 None
             }
@@ -483,7 +485,10 @@ impl FlashAbacusSystem {
             };
             worker_count
         ];
-        let mut completions: BinaryHeap<Completion> = BinaryHeap::new();
+        // At most WORKER_QUEUE_DEPTH screens are in flight per worker, so
+        // the completion heap never outgrows this pre-sized allocation.
+        let mut completions: BinaryHeap<Completion> =
+            BinaryHeap::with_capacity(worker_count * WORKER_QUEUE_DEPTH + 1);
         // The retire frontier: dispatches (and therefore resource
         // reservations) never go backwards past this point, which keeps the
         // FIFO resource models causal.
@@ -557,7 +562,11 @@ impl FlashAbacusSystem {
             match completions.pop() {
                 Some(c) => {
                     let kernel = &apps[c.screen.app].kernels[c.screen.kernel];
-                    let finishes_kernel = kernel_completes_with(chain, kernel, c.screen);
+                    // The retiring screen is the last incomplete one of its
+                    // kernel exactly when one screen remains (itself) — an
+                    // O(1) counter lookup, not a per-retire kernel scan.
+                    let finishes_kernel =
+                        chain.kernel_screens_remaining(c.screen.app, c.screen.kernel) == 1;
                     let output_slice = ScreenSlice {
                         input_start: 0,
                         input_len: 0,
@@ -702,32 +711,6 @@ impl FlashAbacusSystem {
             journal_dumps: self.storengine.stats().journal_dumps,
         }
     }
-}
-
-/// True when `screen` is the only screen of `kernel` that has not yet been
-/// marked done — i.e. retiring it completes the kernel.
-fn kernel_completes_with(
-    chain: &ExecutionChain,
-    kernel: &fa_kernel::model::Kernel,
-    screen: ScreenRef,
-) -> bool {
-    for (mi, mblock) in kernel.microblocks.iter().enumerate() {
-        for (si, _) in mblock.screens.iter().enumerate() {
-            if mi == screen.microblock && si == screen.screen {
-                continue;
-            }
-            let state = chain.state(ScreenRef {
-                app: screen.app,
-                kernel: screen.kernel,
-                microblock: mi,
-                screen: si,
-            });
-            if !matches!(state, Some(fa_kernel::chain::ScreenState::Done)) {
-                return false;
-            }
-        }
-    }
-    true
 }
 
 /// Chooses a timeline bucket that yields a few hundred samples per run.

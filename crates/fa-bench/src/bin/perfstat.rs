@@ -1,0 +1,248 @@
+//! Records the harness's own performance: campaign wall-clock (serial vs
+//! parallel) and per-policy dispatch throughput, written to
+//! `BENCH_PR2.json`.
+//!
+//! This measures the *simulator*, not the simulated hardware — the numbers
+//! seed the repository's perf trajectory so later PRs can show their
+//! speedups against a recorded baseline. Knobs: `FA_DATA_SCALE` (workload
+//! size divisor), `FA_THREADS` (parallel campaign width), `FA_PERFSTAT_OUT`
+//! (output path, default `BENCH_PR2.json` in the working directory).
+//!
+//! Regenerate with:
+//! ```text
+//! cargo run --release -p fa-bench --bin perfstat
+//! ```
+
+use fa_bench::experiments::Campaign;
+use fa_bench::perf::{naive_ready_first, screen_batch};
+use fa_bench::runner::{campaign_threads, run_pairs_with_threads, ExperimentScale};
+use fa_kernel::chain::ExecutionChain;
+use fa_kernel::model::Application;
+use fa_sim::time::SimTime;
+use flashabacus::scheduler::{intra_next_ready, SchedulerPolicy};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One campaign's serial-vs-parallel timing.
+struct CampaignStat {
+    name: &'static str,
+    pairs: usize,
+    serial_seconds: f64,
+    parallel_seconds: f64,
+}
+
+/// One dispatch-loop throughput measurement.
+struct DispatchStat {
+    policy: SchedulerPolicy,
+    screens: usize,
+    seconds: f64,
+}
+
+/// Incremental-frontier vs full-rescan drain timing at one batch size.
+struct FrontierStat {
+    screens: usize,
+    incremental_seconds: f64,
+    rescan_seconds: f64,
+}
+
+/// Drains a chain through one policy's frontier-based decision path,
+/// mimicking the system dispatch loop (pick → mark_running → mark_done)
+/// with a bounded number of screens in flight. Returns screens dispatched.
+fn drain_chain(policy: SchedulerPolicy, apps: &[Application]) -> usize {
+    let mut chain = ExecutionChain::new(apps);
+    let kernels: Vec<(usize, usize)> = apps
+        .iter()
+        .enumerate()
+        .flat_map(|(ai, a)| (0..a.kernels.len()).map(move |ki| (ai, ki)))
+        .collect();
+    let mut in_flight: Vec<fa_kernel::chain::ScreenRef> = Vec::with_capacity(12);
+    let mut dispatched = 0usize;
+    let mut t = 0u64;
+    while !chain.is_complete() {
+        while in_flight.len() < 12 {
+            let pick = match policy {
+                SchedulerPolicy::IntraIo | SchedulerPolicy::IntraO3 => {
+                    intra_next_ready(policy, &chain)
+                }
+                SchedulerPolicy::InterSt | SchedulerPolicy::InterDy => kernels
+                    .iter()
+                    .find_map(|&(ai, ki)| chain.next_ready_of_kernel(ai, ki)),
+            };
+            let Some(s) = pick else { break };
+            chain.mark_running(s, in_flight.len());
+            in_flight.push(s);
+            dispatched += 1;
+        }
+        let Some(s) = in_flight.pop() else {
+            panic!("scheduler stalled with nothing in flight");
+        };
+        t += 10;
+        chain.mark_done(s, SimTime::from_us(t));
+    }
+    dispatched
+}
+
+/// Times a full drain of `apps` through the incremental frontier and
+/// through the old full-rescan walk.
+fn time_frontier(apps: &[Application]) -> FrontierStat {
+    let template = ExecutionChain::new(apps);
+    let screens = template.total_screens();
+
+    let mut chain = template.clone();
+    let start = Instant::now();
+    let mut t = 0u64;
+    while let Some(s) = chain.first_ready() {
+        chain.mark_running(s, 0);
+        t += 10;
+        chain.mark_done(s, SimTime::from_us(t));
+    }
+    let incremental_seconds = start.elapsed().as_secs_f64();
+    assert!(chain.is_complete());
+
+    let mut chain = template;
+    let start = Instant::now();
+    let mut t = 0u64;
+    while let Some(s) = naive_ready_first(&chain, apps) {
+        chain.mark_running(s, 0);
+        t += 10;
+        chain.mark_done(s, SimTime::from_us(t));
+    }
+    let rescan_seconds = start.elapsed().as_secs_f64();
+    assert!(chain.is_complete());
+
+    FrontierStat {
+        screens,
+        incremental_seconds,
+        rescan_seconds,
+    }
+}
+
+fn time_campaign(
+    name: &'static str,
+    workloads: Vec<(String, Vec<Application>)>,
+    threads: usize,
+) -> CampaignStat {
+    let pairs = workloads.len() * 5;
+    let start = Instant::now();
+    let serial = run_pairs_with_threads(&workloads, 1);
+    let serial_seconds = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let parallel = run_pairs_with_threads(&workloads, threads);
+    let parallel_seconds = start.elapsed().as_secs_f64();
+    // The determinism contract, enforced on every perfstat run.
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(
+            s.total_seconds.to_bits(),
+            p.total_seconds.to_bits(),
+            "parallel campaign diverged from serial on {} / {}",
+            s.workload,
+            s.system.label()
+        );
+    }
+    CampaignStat {
+        name,
+        pairs,
+        serial_seconds,
+        parallel_seconds,
+    }
+}
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let threads = campaign_threads();
+    eprintln!(
+        "perfstat: data scale 1/{}, {threads} thread(s)",
+        scale.data_scale
+    );
+
+    let campaigns = [
+        time_campaign(
+            "homogeneous",
+            Campaign::homogeneous_workloads(scale),
+            threads,
+        ),
+        time_campaign(
+            "heterogeneous",
+            Campaign::heterogeneous_workloads(scale),
+            threads,
+        ),
+        time_campaign("bigdata", Campaign::bigdata_workloads(scale), threads),
+    ];
+
+    // Frontier dispatch throughput: how many scheduling decisions per
+    // second the incremental ready set sustains, at three batch sizes.
+    let mut dispatch = Vec::new();
+    let mut frontier = Vec::new();
+    for &total in &[128usize, 1024, 8192] {
+        let apps = screen_batch(total);
+        frontier.push(time_frontier(&apps));
+        for policy in SchedulerPolicy::all() {
+            // Warm pass (first touch of the allocator), then the timed one.
+            let screens = drain_chain(policy, &apps);
+            let start = Instant::now();
+            let again = drain_chain(policy, &apps);
+            let seconds = start.elapsed().as_secs_f64();
+            assert_eq!(screens, again);
+            dispatch.push(DispatchStat {
+                policy,
+                screens,
+                seconds,
+            });
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"pr\": 2,");
+    let _ = writeln!(json, "  \"data_scale\": {},", scale.data_scale);
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    json.push_str("  \"campaigns\": [\n");
+    for (i, c) in campaigns.iter().enumerate() {
+        let speedup = if c.parallel_seconds > 0.0 {
+            c.serial_seconds / c.parallel_seconds
+        } else {
+            1.0
+        };
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"pairs\": {}, \"serial_seconds\": {:.4}, \"parallel_seconds\": {:.4}, \"speedup\": {:.3}}}",
+            c.name, c.pairs, c.serial_seconds, c.parallel_seconds, speedup
+        );
+        json.push_str(if i + 1 < campaigns.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"frontier_vs_rescan\": [\n");
+    for (i, f) in frontier.iter().enumerate() {
+        // Clamp the denominator: a sub-resolution timing must not emit an
+        // `inf` token, which would make the JSON document unparseable.
+        let speedup = f.rescan_seconds / f.incremental_seconds.max(1e-9);
+        let _ = write!(
+            json,
+            "    {{\"screens\": {}, \"incremental_seconds\": {:.6}, \"rescan_seconds\": {:.6}, \"speedup\": {:.1}}}",
+            f.screens, f.incremental_seconds, f.rescan_seconds, speedup
+        );
+        json.push_str(if i + 1 < frontier.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"dispatch_throughput\": [\n");
+    for (i, d) in dispatch.iter().enumerate() {
+        let rate = d.screens as f64 / d.seconds.max(1e-9);
+        let _ = write!(
+            json,
+            "    {{\"policy\": \"{}\", \"screens\": {}, \"seconds\": {:.6}, \"screens_per_sec\": {:.0}}}",
+            d.policy.label(),
+            d.screens,
+            d.seconds,
+            rate
+        );
+        json.push_str(if i + 1 < dispatch.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    let out_path =
+        std::env::var("FA_PERFSTAT_OUT").unwrap_or_else(|_| "BENCH_PR2.json".to_string());
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("{json}");
+    eprintln!("perfstat: wrote {out_path}");
+}

@@ -1,9 +1,16 @@
 //! Shared evaluation campaigns.
+//!
+//! Each campaign fans its (workload, system) pairs across worker threads
+//! (`FA_THREADS`, default: available parallelism) through
+//! [`crate::runner::run_pairs`]; results are merged back in serial
+//! iteration order, so every figure and table derived from a campaign is
+//! byte-identical whatever the thread count.
 
 use crate::runner::{
-    bigdata_workload, heterogeneous_workload, homogeneous_workload, run_on, ExperimentScale,
+    bigdata_workload, heterogeneous_workload, homogeneous_workload, run_pairs, ExperimentScale,
     SystemKind, UnifiedOutcome,
 };
+use fa_kernel::model::Application;
 use fa_workloads::bigdata::bigdata_table;
 use fa_workloads::mixes::{mix_names, MIX_COUNT};
 use fa_workloads::polybench::polybench_table2;
@@ -18,60 +25,63 @@ pub struct Campaign {
 }
 
 impl Campaign {
+    /// Builds a campaign from pre-built workloads by running every
+    /// (workload, system) pair, fanned across the campaign thread pool.
+    fn run(workload_apps: Vec<(String, Vec<Application>)>) -> Campaign {
+        let workloads = workload_apps.iter().map(|(n, _)| n.clone()).collect();
+        Campaign {
+            outcomes: run_pairs(&workload_apps),
+            workloads,
+        }
+    }
+
+    /// The homogeneous campaign's workload list: six instances of each of
+    /// the fourteen PolyBench applications.
+    pub fn homogeneous_workloads(scale: ExperimentScale) -> Vec<(String, Vec<Application>)> {
+        polybench_table2()
+            .iter()
+            .map(|row| (row.name.to_string(), homogeneous_workload(row.bench, scale)))
+            .collect()
+    }
+
+    /// The heterogeneous campaign's workload list: MX1–MX14, 24 instances
+    /// each.
+    pub fn heterogeneous_workloads(scale: ExperimentScale) -> Vec<(String, Vec<Application>)> {
+        let lists: Vec<(String, Vec<Application>)> = mix_names()
+            .into_iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let apps = heterogeneous_workload(i + 1, scale);
+                (name, apps)
+            })
+            .collect();
+        debug_assert_eq!(lists.len(), MIX_COUNT);
+        lists
+    }
+
+    /// The graph/big-data campaign's workload list.
+    pub fn bigdata_workloads(scale: ExperimentScale) -> Vec<(String, Vec<Application>)> {
+        bigdata_table()
+            .iter()
+            .map(|row| (row.name.to_string(), bigdata_workload(row.bench, scale)))
+            .collect()
+    }
+
     /// Runs the homogeneous campaign of §5.1: six instances of each of the
     /// fourteen PolyBench applications on all five systems.
     pub fn homogeneous(scale: ExperimentScale) -> Campaign {
-        let rows = polybench_table2();
-        let mut outcomes = Vec::new();
-        let mut workloads = Vec::new();
-        for row in &rows {
-            workloads.push(row.name.to_string());
-            let apps = homogeneous_workload(row.bench, scale);
-            for system in SystemKind::all() {
-                outcomes.push(run_on(system, row.name, &apps));
-            }
-        }
-        Campaign {
-            outcomes,
-            workloads,
-        }
+        Self::run(Self::homogeneous_workloads(scale))
     }
 
     /// Runs the heterogeneous campaign of §5.1: MX1–MX14 on all five
     /// systems (24 instances each).
     pub fn heterogeneous(scale: ExperimentScale) -> Campaign {
-        let mut outcomes = Vec::new();
-        let mut workloads = Vec::new();
-        for (i, name) in mix_names().into_iter().enumerate() {
-            let mix = i + 1;
-            workloads.push(name.clone());
-            let apps = heterogeneous_workload(mix, scale);
-            for system in SystemKind::all() {
-                outcomes.push(run_on(system, &name, &apps));
-            }
-        }
-        debug_assert_eq!(workloads.len(), MIX_COUNT);
-        Campaign {
-            outcomes,
-            workloads,
-        }
+        Self::run(Self::heterogeneous_workloads(scale))
     }
 
     /// Runs the graph/big-data campaign of §5.6 on all five systems.
     pub fn bigdata(scale: ExperimentScale) -> Campaign {
-        let mut outcomes = Vec::new();
-        let mut workloads = Vec::new();
-        for row in bigdata_table() {
-            workloads.push(row.name.to_string());
-            let apps = bigdata_workload(row.bench, scale);
-            for system in SystemKind::all() {
-                outcomes.push(run_on(system, row.name, &apps));
-            }
-        }
-        Campaign {
-            outcomes,
-            workloads,
-        }
+        Self::run(Self::bigdata_workloads(scale))
     }
 
     /// Looks up the outcome of one (workload, system) pair.

@@ -18,10 +18,11 @@
 //! expected to hold and are what `EXPERIMENTS.md` records.
 
 pub mod experiments;
+pub mod perf;
 pub mod report;
 pub mod runner;
 
 pub use runner::{
-    bigdata_workload, heterogeneous_workload, homogeneous_workload, run_on, ExperimentScale,
-    SystemKind, UnifiedOutcome,
+    bigdata_workload, campaign_threads, heterogeneous_workload, homogeneous_workload, run_on,
+    run_pairs, run_pairs_with_threads, ExperimentScale, SystemKind, UnifiedOutcome,
 };

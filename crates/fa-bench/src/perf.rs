@@ -1,0 +1,130 @@
+//! Shared helpers for the harness's self-measurement (the `perfstat`
+//! binary and the `frontier` bench): a synthetic dispatch-shaped batch and
+//! the old full-rescan readiness walk kept as the comparison baseline.
+//!
+//! Both consumers must measure the *same* batch shape and the *same*
+//! baseline algorithm, or the recorded `BENCH_PR2.json` numbers and the
+//! microbenchmark would silently drift apart — hence one definition here.
+//! (The frontier-vs-oracle *property test* deliberately does not use these
+//! helpers: its oracle must stay independent of the code under test.)
+
+use fa_kernel::chain::{ExecutionChain, ScreenRef, ScreenState};
+use fa_kernel::instance::{instantiate_many, InstancePlan};
+use fa_kernel::model::{AppId, Application, ApplicationBuilder, DataSection};
+use fa_platform::lwp::InstructionMix;
+
+/// A synthetic batch totalling roughly `total_screens` screens spread over
+/// 8 instances with dependent microblocks — the shape the ready frontier
+/// has to chew through, without any simulation around it.
+pub fn screen_batch(total_screens: usize) -> Vec<Application> {
+    let instances = 8;
+    let screens_per_microblock = 4;
+    let microblocks = (total_screens / (instances * screens_per_microblock)).max(1);
+    let mix = InstructionMix::new(40_000, 0.4, 0.1);
+    let blocks: Vec<(usize, InstructionMix, u64, u64)> = (0..microblocks)
+        .map(|_| (screens_per_microblock, mix, 4096u64, 512u64))
+        .collect();
+    let template = ApplicationBuilder::new("perf")
+        .kernel(
+            "perf-k0",
+            DataSection {
+                flash_base: 0,
+                input_bytes: 4096 * microblocks as u64,
+                output_bytes: 512 * microblocks as u64,
+            },
+            &blocks,
+        )
+        .build(AppId(0));
+    instantiate_many(
+        &[template],
+        &InstancePlan {
+            instances_per_app: instances,
+            ..Default::default()
+        },
+    )
+}
+
+/// Rebuilds the ready list the way `ExecutionChain::ready_screens` used
+/// to: a walk over every app × kernel × microblock × screen of the batch,
+/// checking eligibility and state as it goes. O(S) per call, O(S²) per
+/// schedule — the baseline the incremental frontier replaces.
+pub fn naive_ready_screens(chain: &ExecutionChain, apps: &[Application]) -> Vec<ScreenRef> {
+    let mut ready = Vec::new();
+    for (ai, app) in apps.iter().enumerate() {
+        for (ki, kernel) in app.kernels.iter().enumerate() {
+            for (mi, mblock) in kernel.microblocks.iter().enumerate() {
+                if !chain.microblock_eligible(ai, ki, mi) {
+                    continue;
+                }
+                for si in 0..mblock.screens.len() {
+                    let r = ScreenRef {
+                        app: ai,
+                        kernel: ki,
+                        microblock: mi,
+                        screen: si,
+                    };
+                    if matches!(chain.state(r), Some(ScreenState::Pending)) {
+                        ready.push(r);
+                    }
+                }
+            }
+        }
+    }
+    ready
+}
+
+/// The head of [`naive_ready_screens`] without materializing the list —
+/// still a full walk past every completed screen before the first pending
+/// one, so a drain through it stays O(S²).
+pub fn naive_ready_first(chain: &ExecutionChain, apps: &[Application]) -> Option<ScreenRef> {
+    for (ai, app) in apps.iter().enumerate() {
+        for (ki, kernel) in app.kernels.iter().enumerate() {
+            for (mi, mblock) in kernel.microblocks.iter().enumerate() {
+                if !chain.microblock_eligible(ai, ki, mi) {
+                    continue;
+                }
+                for si in 0..mblock.screens.len() {
+                    let r = ScreenRef {
+                        app: ai,
+                        kernel: ki,
+                        microblock: mi,
+                        screen: si,
+                    };
+                    if matches!(chain.state(r), Some(ScreenState::Pending)) {
+                        return Some(r);
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_has_roughly_the_requested_screen_count() {
+        let apps = screen_batch(1024);
+        let chain = ExecutionChain::new(&apps);
+        assert_eq!(chain.total_screens(), 1024);
+        assert_eq!(apps.len(), 8);
+    }
+
+    #[test]
+    fn naive_walk_agrees_with_the_frontier() {
+        let apps = screen_batch(128);
+        let mut chain = ExecutionChain::new(&apps);
+        let mut t = 0u64;
+        loop {
+            assert_eq!(naive_ready_screens(&chain, &apps), chain.ready_screens());
+            assert_eq!(naive_ready_first(&chain, &apps), chain.first_ready());
+            let Some(s) = chain.first_ready() else { break };
+            chain.mark_running(s, 0);
+            t += 10;
+            chain.mark_done(s, fa_sim::time::SimTime::from_us(t));
+        }
+        assert!(chain.is_complete());
+    }
+}

@@ -16,6 +16,8 @@ use fa_workloads::mixes::mix_apps;
 use fa_workloads::polybench::{polybench_app, PolyBench};
 use flashabacus::{FlashAbacusConfig, FlashAbacusSystem, SchedulerPolicy};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// The five accelerated systems of the evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -186,6 +188,94 @@ pub fn run_on(system: SystemKind, workload_label: &str, apps: &[Application]) ->
     }
 }
 
+/// Number of worker threads the campaign runner fans (workload, system)
+/// pairs across: the `FA_THREADS` environment variable when set to a
+/// positive integer, otherwise the machine's available parallelism.
+/// `FA_THREADS=1` forces a fully serial run.
+pub fn campaign_threads() -> usize {
+    std::env::var("FA_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|v| *v > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Runs every (workload, system) pair of a campaign, fanned across
+/// [`campaign_threads`] worker threads, and returns the outcomes in the
+/// exact order a serial `for workload { for system }` double loop would
+/// produce them.
+///
+/// Every simulation is a pure, deterministic function of its `(system,
+/// apps)` inputs — each run owns all of its state, and the dispatch loop
+/// in `flashabacus::system` orders completions by (end time, screen
+/// reference) with a deterministic tie-break — so the merged results are
+/// byte-identical to a serial run regardless of thread count or
+/// interleaving; only wall-clock time changes. Threads pull the next job
+/// off a shared counter, so long workloads do not serialize behind a
+/// static partition.
+///
+/// # Panics
+///
+/// Panics if any run fails (propagated from the worker thread by
+/// `std::thread::scope`), matching [`run_on`]'s contract.
+pub fn run_pairs(workloads: &[(String, Vec<Application>)]) -> Vec<UnifiedOutcome> {
+    run_pairs_with_threads(workloads, campaign_threads())
+}
+
+/// [`run_pairs`] with an explicit thread count (1 = fully serial). Exposed
+/// so the perf harness and tests can compare serial and parallel runs
+/// without touching the `FA_THREADS` environment of the whole process.
+pub fn run_pairs_with_threads(
+    workloads: &[(String, Vec<Application>)],
+    threads: usize,
+) -> Vec<UnifiedOutcome> {
+    let jobs: Vec<(usize, SystemKind)> = workloads
+        .iter()
+        .enumerate()
+        .flat_map(|(wi, _)| SystemKind::all().into_iter().map(move |s| (wi, s)))
+        .collect();
+    let threads = threads.min(jobs.len()).max(1);
+    if threads == 1 {
+        return jobs
+            .iter()
+            .map(|&(wi, system)| {
+                let (label, apps) = &workloads[wi];
+                run_on(system, label, apps)
+            })
+            .collect();
+    }
+
+    // One pre-indexed slot per job: workers race only on the job counter,
+    // and the merge is a plain index-order unwrap.
+    let slots: Vec<Mutex<Option<UnifiedOutcome>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(wi, system)) = jobs.get(i) else {
+                    break;
+                };
+                let (label, apps) = &workloads[wi];
+                let out = run_on(system, label, apps);
+                *slots[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every job ran to completion")
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,5 +346,51 @@ mod tests {
         if std::env::var("FA_DATA_SCALE").is_err() {
             assert_eq!(ExperimentScale::from_env().data_scale, 16);
         }
+    }
+
+    #[test]
+    fn parallel_run_pairs_is_byte_identical_to_serial() {
+        let scale = ExperimentScale { data_scale: 512 };
+        let workloads: Vec<(String, Vec<Application>)> = vec![
+            (
+                "GEMM".to_string(),
+                homogeneous_workload(PolyBench::Gemm, scale),
+            ),
+            (
+                "ATAX".to_string(),
+                homogeneous_workload(PolyBench::Atax, scale),
+            ),
+        ];
+        let serial = run_pairs_with_threads(&workloads, 1);
+        let parallel = run_pairs_with_threads(&workloads, 3);
+        assert_eq!(serial.len(), 2 * SystemKind::all().len());
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.system, p.system);
+            assert_eq!(s.workload, p.workload);
+            // Determinism is exact, not approximate: identical bits.
+            assert_eq!(s.total_seconds.to_bits(), p.total_seconds.to_bits());
+            assert_eq!(s.throughput_mb_s.to_bits(), p.throughput_mb_s.to_bits());
+            assert_eq!(
+                s.total_energy_j().to_bits(),
+                p.total_energy_j().to_bits(),
+                "{} on {}",
+                s.workload,
+                s.system.label()
+            );
+            assert_eq!(s.completion_times, p.completion_times);
+        }
+        // The merge preserves the serial (workload, system) iteration order.
+        let order: Vec<(String, &str)> = serial
+            .iter()
+            .map(|o| (o.workload.clone(), o.system.label()))
+            .collect();
+        let mut expected = Vec::new();
+        for (w, _) in &workloads {
+            for s in SystemKind::all() {
+                expected.push((w.clone(), s.label()));
+            }
+        }
+        assert_eq!(order, expected);
     }
 }

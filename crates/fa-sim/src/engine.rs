@@ -58,12 +58,25 @@ impl<E> Default for Engine<E> {
 impl<E> Engine<E> {
     /// Creates an engine with no step or time bound.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates an engine whose queue has room for `capacity` pending events
+    /// up front, for callers that know their event fan-out ahead of time.
+    /// (The full-system drivers keep their own completion queues — see
+    /// `flashabacus::system`, which pre-sizes its heap the same way.)
+    pub fn with_capacity(capacity: usize) -> Self {
         Engine {
-            queue: EventQueue::new(),
+            queue: EventQueue::with_capacity(capacity),
             now: SimTime::ZERO,
             max_steps: u64::MAX,
             horizon: SimTime::MAX,
         }
+    }
+
+    /// Reserves room for at least `additional` more pending events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.queue.reserve(additional);
     }
 
     /// Bounds the total number of dispatched events. Used as a safety net
@@ -98,6 +111,23 @@ impl<E> Engine<E> {
             self.now
         );
         self.queue.push(at, event);
+    }
+
+    /// Schedules a batch of events in one call (single up-front
+    /// reservation, insertion order preserved as the tie-break).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any event is earlier than the current simulation time.
+    pub fn schedule_many<I>(&mut self, events: I)
+    where
+        I: IntoIterator<Item = (SimTime, E)>,
+    {
+        let now = self.now;
+        self.queue
+            .schedule_many(events.into_iter().inspect(|(at, _)| {
+                assert!(*at >= now, "event scheduled in the past: {at} < {now}");
+            }));
     }
 
     /// Number of pending events.
@@ -185,5 +215,28 @@ mod tests {
         engine.schedule(SimTime::from_ns(10), 1);
         engine.run(|_, _, _| {});
         engine.schedule(SimTime::from_ns(5), 2);
+    }
+
+    #[test]
+    fn schedule_many_drains_in_order() {
+        let mut engine: Engine<u8> = Engine::with_capacity(3);
+        engine.schedule_many([
+            (SimTime::from_ns(30), 3),
+            (SimTime::from_ns(10), 1),
+            (SimTime::from_ns(20), 2),
+        ]);
+        engine.reserve(1);
+        let mut order = Vec::new();
+        assert_eq!(engine.run(|_, ev, _| order.push(ev)), StepOutcome::Drained);
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn schedule_many_rejects_past_events() {
+        let mut engine: Engine<u8> = Engine::new();
+        engine.schedule(SimTime::from_ns(10), 1);
+        engine.run(|_, _, _| {});
+        engine.schedule_many([(SimTime::from_ns(5), 2)]);
     }
 }

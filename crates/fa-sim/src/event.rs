@@ -74,12 +74,23 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates an empty queue with room for `capacity` pending events, so
+    /// drivers that know their fan-out pay no per-push reallocation.
+    pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(capacity),
             next_seq: 0,
             pushed: 0,
             popped: 0,
         }
+    }
+
+    /// Reserves room for at least `additional` more pending events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
     }
 
     /// Schedules `event` for delivery at `at`.
@@ -88,6 +99,21 @@ impl<E> EventQueue<E> {
         self.next_seq += 1;
         self.pushed += 1;
         self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Schedules a batch of events in one call, reserving space up front.
+    /// Events keep their iteration order as the insertion-order tie-break,
+    /// exactly as if they had been pushed one by one.
+    pub fn schedule_many<I>(&mut self, events: I)
+    where
+        I: IntoIterator<Item = (SimTime, E)>,
+    {
+        let iter = events.into_iter();
+        let (lower, _) = iter.size_hint();
+        self.heap.reserve(lower);
+        for (at, event) in iter {
+            self.push(at, event);
+        }
     }
 
     /// Removes and returns the earliest event, if any.
@@ -166,5 +192,29 @@ mod tests {
         q.push(SimTime::ZERO, 1u8);
         q.clear();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn schedule_many_preserves_insertion_order_tie_break() {
+        let mut q = EventQueue::with_capacity(4);
+        q.schedule_many([
+            (SimTime::from_ns(10), 1u32),
+            (SimTime::from_ns(10), 2),
+            (SimTime::from_ns(5), 3),
+        ]);
+        q.push(SimTime::from_ns(10), 4);
+        let out: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(out, vec![3, 1, 2, 4]);
+        assert_eq!(q.total_pushed(), 4);
+    }
+
+    #[test]
+    fn reserve_does_not_disturb_pending_events() {
+        let mut q = EventQueue::with_capacity(1);
+        q.push(SimTime::from_ns(2), "b");
+        q.reserve(64);
+        q.push(SimTime::from_ns(1), "a");
+        assert_eq!(q.pop(), Some((SimTime::from_ns(1), "a")));
+        assert_eq!(q.pop(), Some((SimTime::from_ns(2), "b")));
     }
 }

@@ -1,0 +1,243 @@
+//! Property test: the incrementally maintained ready frontier always equals
+//! a naive full-rescan oracle, under arbitrary `mark_running`/`mark_done`
+//! interleavings, for the view every one of the four `SchedulerPolicy`
+//! consumers takes of it.
+//!
+//! The oracle recomputes readiness from scratch each step using only
+//! `state()` and the microblock ordering rule, so a divergence pinpoints a
+//! bug in the frontier bookkeeping rather than in the oracle.
+
+use flashabacus_suite::fa_kernel::chain::{ExecutionChain, ScreenRef, ScreenState};
+use flashabacus_suite::fa_kernel::instance::{instantiate_many, InstancePlan};
+use flashabacus_suite::fa_kernel::model::{AppId, Application, ApplicationBuilder, DataSection};
+use flashabacus_suite::fa_platform::lwp::InstructionMix;
+use flashabacus_suite::fa_sim::time::SimTime;
+use flashabacus_suite::flashabacus::scheduler::{
+    intra_next_ready, intra_ready_screens, SchedulerPolicy,
+};
+use proptest::prelude::*;
+
+/// Builds a batch whose shape (kernels, microblocks, screens per
+/// microblock) is derived from the generated parameters.
+fn build_batch(
+    instances: usize,
+    kernels: usize,
+    microblocks: usize,
+    screens: usize,
+) -> Vec<Application> {
+    let mix = InstructionMix::new(10_000, 0.4, 0.1);
+    let mut builder = ApplicationBuilder::new("oracle");
+    for ki in 0..kernels {
+        // Vary the screen count per microblock a little so microblocks are
+        // not all the same width (the cascade has to handle both).
+        let blocks: Vec<(usize, InstructionMix, u64, u64)> = (0..microblocks)
+            .map(|mi| (1 + (screens + mi + ki) % 4, mix, 4096u64, 512u64))
+            .collect();
+        builder = builder.kernel(
+            format!("oracle-k{ki}"),
+            DataSection {
+                flash_base: 0,
+                input_bytes: 4096 * microblocks as u64,
+                output_bytes: 512 * microblocks as u64,
+            },
+            &blocks,
+        );
+    }
+    let template = builder.build(AppId(0));
+    instantiate_many(
+        &[template],
+        &InstancePlan {
+            instances_per_app: instances,
+            ..Default::default()
+        },
+    )
+}
+
+/// Full-rescan oracle: every pending screen whose microblock is eligible,
+/// recomputed from scratch via `state()` alone.
+fn oracle_ready(chain: &ExecutionChain, apps: &[Application]) -> Vec<ScreenRef> {
+    let mut ready = Vec::new();
+    for (ai, app) in apps.iter().enumerate() {
+        for (ki, kernel) in app.kernels.iter().enumerate() {
+            for (mi, mblock) in kernel.microblocks.iter().enumerate() {
+                let eligible = mi == 0
+                    || kernel.microblocks[mi - 1]
+                        .screens
+                        .iter()
+                        .enumerate()
+                        .all(|(si, _)| {
+                            matches!(
+                                chain.state(ScreenRef {
+                                    app: ai,
+                                    kernel: ki,
+                                    microblock: mi - 1,
+                                    screen: si,
+                                }),
+                                Some(ScreenState::Done)
+                            )
+                        });
+                if !eligible {
+                    continue;
+                }
+                for si in 0..mblock.screens.len() {
+                    let r = ScreenRef {
+                        app: ai,
+                        kernel: ki,
+                        microblock: mi,
+                        screen: si,
+                    };
+                    if matches!(chain.state(r), Some(ScreenState::Pending)) {
+                        ready.push(r);
+                    }
+                }
+            }
+        }
+    }
+    ready
+}
+
+/// Full-rescan oracle for the earliest incomplete microblock.
+fn oracle_earliest_incomplete(
+    chain: &ExecutionChain,
+    apps: &[Application],
+) -> Option<(usize, usize, usize)> {
+    for (ai, app) in apps.iter().enumerate() {
+        for (ki, kernel) in app.kernels.iter().enumerate() {
+            for (mi, mblock) in kernel.microblocks.iter().enumerate() {
+                let all_done = mblock.screens.iter().enumerate().all(|(si, _)| {
+                    matches!(
+                        chain.state(ScreenRef {
+                            app: ai,
+                            kernel: ki,
+                            microblock: mi,
+                            screen: si,
+                        }),
+                        Some(ScreenState::Done)
+                    )
+                });
+                if !all_done {
+                    return Some((ai, ki, mi));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Checks every frontier view each of the four scheduler policies consumes
+/// against the oracle's from-scratch answer.
+fn assert_frontier_matches_oracle(
+    chain: &ExecutionChain,
+    apps: &[Application],
+) -> Result<(), String> {
+    let oracle = oracle_ready(chain, apps);
+
+    // The raw frontier, its count, and its deterministic order.
+    let frontier: Vec<ScreenRef> = chain.frontier().collect();
+    prop_assert_eq!(&frontier, &oracle);
+    prop_assert_eq!(chain.ready_count(), oracle.len());
+    prop_assert_eq!(chain.ready_screens(), oracle.clone());
+
+    // IntraO3 consumes the global head of the frontier.
+    prop_assert_eq!(
+        intra_next_ready(SchedulerPolicy::IntraO3, chain),
+        oracle.first().copied()
+    );
+    prop_assert_eq!(
+        intra_ready_screens(SchedulerPolicy::IntraO3, chain),
+        oracle.clone()
+    );
+
+    // IntraIo consumes the head of the earliest incomplete microblock.
+    let earliest = oracle_earliest_incomplete(chain, apps);
+    prop_assert_eq!(chain.earliest_incomplete_microblock(), earliest);
+    let io_oracle: Vec<ScreenRef> = match earliest {
+        Some((ai, ki, mi)) => oracle
+            .iter()
+            .copied()
+            .filter(|r| r.app == ai && r.kernel == ki && r.microblock == mi)
+            .collect(),
+        None => Vec::new(),
+    };
+    prop_assert_eq!(
+        intra_next_ready(SchedulerPolicy::IntraIo, chain),
+        io_oracle.first().copied()
+    );
+    prop_assert_eq!(
+        intra_ready_screens(SchedulerPolicy::IntraIo, chain),
+        io_oracle
+    );
+
+    // InterSt/InterDy consume the per-kernel head (both policies take the
+    // same frontier view; they differ only in which kernel they ask about).
+    for (ai, app) in apps.iter().enumerate() {
+        for ki in 0..app.kernels.len() {
+            let kernel_oracle: Vec<ScreenRef> = oracle
+                .iter()
+                .copied()
+                .filter(|r| r.app == ai && r.kernel == ki)
+                .collect();
+            prop_assert_eq!(
+                chain.next_ready_of_kernel(ai, ki),
+                kernel_oracle.first().copied()
+            );
+            prop_assert_eq!(chain.ready_screens_of_kernel(ai, ki), kernel_oracle);
+        }
+    }
+    Ok(())
+}
+
+/// Deterministic splitmix64 step, used to derive the random walk from a
+/// generated seed.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random dispatch/retire interleavings never desynchronize the
+    /// frontier from the full-rescan oracle.
+    #[test]
+    fn frontier_always_equals_full_rescan_oracle(
+        instances in 1usize..4,
+        kernels in 1usize..3,
+        microblocks in 1usize..4,
+        screens in 1usize..4,
+        seed in 0u64..u64::MAX,
+    ) {
+        let apps = build_batch(instances, kernels, microblocks, screens);
+        let mut chain = ExecutionChain::new(&apps);
+        let mut rng = seed;
+        let mut running: Vec<ScreenRef> = Vec::new();
+        let mut t = 0u64;
+
+        assert_frontier_matches_oracle(&chain, &apps)?;
+        while !chain.is_complete() {
+            let ready = chain.ready_screens();
+            // Bias toward dispatching while anything is ready, but retire
+            // often enough that the in-flight set stays small.
+            let dispatch = !ready.is_empty()
+                && (running.is_empty() || splitmix64(&mut rng) % 3 != 0);
+            if dispatch {
+                let pick = ready[(splitmix64(&mut rng) as usize) % ready.len()];
+                chain.mark_running(pick, running.len());
+                running.push(pick);
+            } else {
+                prop_assert!(!running.is_empty(), "stalled: nothing ready, nothing running");
+                let idx = (splitmix64(&mut rng) as usize) % running.len();
+                let done = running.swap_remove(idx);
+                t += 7;
+                chain.mark_done(done, SimTime::from_us(t));
+            }
+            assert_frontier_matches_oracle(&chain, &apps)?;
+        }
+        prop_assert!(running.is_empty());
+        prop_assert_eq!(chain.ready_count(), 0);
+        prop_assert_eq!(chain.completed_screens(), chain.total_screens());
+    }
+}
