@@ -1,6 +1,8 @@
 //! Configuration of the FlashAbacus device.
 
+use crate::freespace::PlacementPolicy;
 use crate::scheduler::SchedulerPolicy;
+use crate::storengine::GcVictimPolicy;
 use fa_energy::PowerSpec;
 use fa_flash::{FlashGeometry, FlashTiming};
 use fa_platform::PlatformSpec;
@@ -35,6 +37,16 @@ pub struct FlashAbacusConfig {
     pub channel_tag_queue: usize,
     /// Block erase-endurance budget used by the wear model.
     pub endurance_cycles: u64,
+    /// Where the free-space manager places newly allocated page groups.
+    /// `FirstFree` (the default) reproduces the log-structured cursor
+    /// allocator exactly; `ChannelStriped` round-robins across the
+    /// channel/die stripe classes.
+    pub placement: PlacementPolicy,
+    /// How Storengine picks its GC victim block. `RoundRobin` (the
+    /// default) is the paper's cheap §4.3 policy; `GreedyMinValid` uses
+    /// the incremental valid-page index to pick the block with the fewest
+    /// pages to migrate.
+    pub gc_victim: GcVictimPolicy,
     /// Fraction of free page groups below which Storengine starts
     /// reclaiming blocks.
     pub gc_low_watermark: f64,
@@ -61,6 +73,8 @@ impl FlashAbacusConfig {
             srio_bytes_per_sec: fa_flash::spec::SRIO_BYTES_PER_SEC,
             channel_tag_queue: fa_flash::spec::CHANNEL_TAG_QUEUE_DEPTH,
             endurance_cycles: fa_flash::spec::TLC_ENDURANCE_CYCLES,
+            placement: PlacementPolicy::FirstFree,
+            gc_victim: GcVictimPolicy::RoundRobin,
             gc_low_watermark: 0.10,
             journal_interval: SimDuration::from_ms(100),
             buffered_writes: true,
@@ -92,6 +106,8 @@ impl FlashAbacusConfig {
             srio_bytes_per_sec: 2.5e9,
             channel_tag_queue: 8,
             endurance_cycles: 1_000,
+            placement: PlacementPolicy::FirstFree,
+            gc_victim: GcVictimPolicy::RoundRobin,
             gc_low_watermark: 0.20,
             journal_interval: SimDuration::from_ms(1),
             buffered_writes: true,
@@ -112,6 +128,43 @@ impl FlashAbacusConfig {
     /// entry per group; the paper reports 2 MB for 32 GB at 64 KB groups).
     pub fn mapping_table_bytes(&self) -> u64 {
         self.total_page_groups() * 4
+    }
+
+    /// The `[low, high)` slice of the page-group space one *round-robin*
+    /// GC pass scans for victim block `victim_index`: block-sized slices
+    /// of the group space, visited in block order. Page groups stripe
+    /// across channels, so the slice is approximate for geometries whose
+    /// groups span blocks (a full round-robin sweep still covers every
+    /// group exactly once); the tests pin the exact behaviour for the
+    /// prototype layout. One definition, shared by Storengine and the
+    /// perf harness, so the recorded `BENCH_PR*.json` discovery timings
+    /// measure exactly what production scans.
+    pub fn gc_scan_group_range(&self, victim_index: u64) -> (u64, u64) {
+        let pages_per_block = self.flash_geometry.pages_per_block as u64;
+        let pages_per_group = self.pages_per_group();
+        (
+            (victim_index * pages_per_block) / pages_per_group,
+            ((victim_index + 1) * pages_per_block).div_ceil(pages_per_group),
+        )
+    }
+
+    /// The `[low, high)` range of page groups whose pages fall inside
+    /// within-die block row `row` — block `row` of *every* channel and
+    /// die. Because flat pages are contiguous per row (channel-first,
+    /// die-second striping), the range covers every group holding a page
+    /// of row `row` (including any group straddling a row boundary).
+    /// This is the migration set a row-coherent GC pass (GreedyMinValid)
+    /// uses, so erasing any one block of the row never destroys a mapped
+    /// group that was not migrated.
+    pub fn block_row_group_range(&self, row: u64) -> (u64, u64) {
+        let row_pages = self.flash_geometry.pages_per_block as u64
+            * self.flash_geometry.channels as u64
+            * self.flash_geometry.dies_per_channel() as u64;
+        let pages_per_group = self.pages_per_group();
+        (
+            (row * row_pages) / pages_per_group,
+            ((row + 1) * row_pages).div_ceil(pages_per_group),
+        )
     }
 }
 

@@ -10,13 +10,13 @@
 
 use crate::config::FlashAbacusConfig;
 use crate::error::FaError;
+use crate::freespace::{FreeSpaceManager, PlacementPolicy};
 use crate::rangelock::{LockId, LockMode, RangeLockTable};
-use fa_flash::{FlashBackbone, FlashCommand, PhysicalPageAddr};
+use fa_flash::{FlashBackbone, FlashCommand, FlashError};
 use fa_platform::mem::Scratchpad;
 use fa_sim::resource::FifoServer;
 use fa_sim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 
 /// Statistics kept by Flashvisor.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -60,10 +60,14 @@ pub struct Flashvisor {
     backbone: FlashBackbone,
     /// Logical page group → physical page group.
     mapping: Vec<Option<u64>>,
-    /// Physical groups handed out so far (log-structured cursor).
-    next_physical_group: u64,
-    /// Physical groups freed by GC, reusable before advancing the cursor.
-    free_groups: VecDeque<u64>,
+    /// Physical page group → logical page group, maintained alongside
+    /// `mapping` so GC can enumerate the groups of one victim block
+    /// without walking the whole table. An entry may briefly go stale
+    /// (a group recycled externally while still mapped); consumers filter
+    /// through `mapping` for the authoritative answer.
+    reverse: Vec<Option<u64>>,
+    /// Incremental free-group structure and placement policy.
+    freespace: FreeSpaceManager,
     locks: RangeLockTable,
     /// Flashvisor's own LWP time: translations and scheduling decisions
     /// serialize here.
@@ -85,12 +89,19 @@ impl Flashvisor {
             config.endurance_cycles,
         );
         let total_groups = config.total_page_groups();
+        let freespace = FreeSpaceManager::new(
+            total_groups,
+            config.pages_per_group(),
+            config.flash_geometry.channels,
+            config.flash_geometry.dies_per_channel(),
+            config.placement,
+        );
         Flashvisor {
             config,
             backbone,
             mapping: vec![None; total_groups as usize],
-            next_physical_group: 0,
-            free_groups: VecDeque::new(),
+            reverse: vec![None; total_groups as usize],
+            freespace,
             locks: RangeLockTable::new(),
             cpu: FifoServer::new("flashvisor"),
             dirty_mapping_entries: 0,
@@ -118,10 +129,25 @@ impl Flashvisor {
         self.stats
     }
 
-    /// Number of physical page groups not yet allocated.
+    /// Number of physical page groups not yet allocated. O(1): read from
+    /// the free-space manager's incremental count.
     pub fn free_physical_groups(&self) -> u64 {
-        let total = self.config.total_page_groups();
-        total - self.next_physical_group + self.free_groups.len() as u64
+        self.freespace.free_count()
+    }
+
+    /// The free-space manager (placement policy, occupancy, oracles).
+    pub fn freespace(&self) -> &FreeSpaceManager {
+        &self.freespace
+    }
+
+    /// The placement policy in force.
+    pub fn placement_policy(&self) -> PlacementPolicy {
+        self.freespace.policy()
+    }
+
+    /// Allocated page groups per channel/die stripe class.
+    pub fn placement_occupancy(&self) -> &[u64] {
+        self.freespace.occupancy()
     }
 
     /// Fraction of physical page groups still free.
@@ -209,18 +235,10 @@ impl Flashvisor {
     }
 
     fn allocate_physical_group(&mut self) -> Result<u64, FaError> {
-        if let Some(g) = self.free_groups.pop_front() {
-            return Ok(g);
-        }
-        if self.next_physical_group >= self.config.total_page_groups() {
-            return Err(FaError::OutOfFlashSpace {
-                requested: 1,
-                available: 0,
-            });
-        }
-        let g = self.next_physical_group;
-        self.next_physical_group += 1;
-        Ok(g)
+        self.freespace.allocate().ok_or(FaError::OutOfFlashSpace {
+            requested: 1,
+            available: 0,
+        })
     }
 
     /// Looks up the mapping slot of a logical group, rejecting addresses
@@ -234,14 +252,6 @@ impl Flashvisor {
             ))
     }
 
-    /// Returns the physical pages of physical group `group`.
-    fn group_pages(&self, group: u64) -> Vec<PhysicalPageAddr> {
-        let pages = self.config.pages_per_group();
-        (0..pages)
-            .map(|i| self.config.flash_geometry.flat_to_addr(group * pages + i))
-            .collect()
-    }
-
     /// Pre-populates the mapping and backbone for a logical byte range, as
     /// if a host had written the input data before the experiment started.
     /// Consumes no simulated time.
@@ -249,16 +259,20 @@ impl Flashvisor {
         if len == 0 {
             return Ok(());
         }
+        let geometry = self.config.flash_geometry;
+        let pages = self.config.pages_per_group();
         let (first, last) = self.groups_covering(start, len);
         for lg in first..=last {
             if self.logical_slot(lg)?.is_some() {
                 continue;
             }
             let pg = self.allocate_physical_group()?;
-            for addr in self.group_pages(pg) {
-                self.backbone.preload(addr)?;
+            for i in 0..pages {
+                self.backbone
+                    .preload(geometry.flat_to_addr(pg * pages + i))?;
             }
             self.mapping[lg as usize] = Some(pg);
+            self.reverse[pg as usize] = Some(lg);
         }
         Ok(())
     }
@@ -280,6 +294,8 @@ impl Flashvisor {
                 groups: 0,
             });
         }
+        let geometry = self.config.flash_geometry;
+        let pages = self.config.pages_per_group();
         let (first, last) = self.groups_covering(start, len);
         let mut finished = now;
         let mut cursor = now;
@@ -291,10 +307,13 @@ impl Flashvisor {
             let pg = self
                 .logical_slot(lg)?
                 .ok_or(FaError::UnmappedAddress(lg * self.config.page_group_bytes))?;
-            for addr in self.group_pages(pg) {
-                let completion = self.backbone.submit(cursor, FlashCommand::read(addr))?;
-                finished = finished.max(completion.finished);
-            }
+            // Vectored group submission: every page command of the group
+            // goes down in one batch at the translated instant.
+            let batch = self.backbone.submit_batch(
+                cursor,
+                (0..pages).map(|i| FlashCommand::read(geometry.flat_to_addr(pg * pages + i))),
+            )?;
+            finished = finished.max(batch.finished);
             self.stats.group_reads += 1;
         }
         Ok(TransferCompletion {
@@ -321,6 +340,8 @@ impl Flashvisor {
                 groups: 0,
             });
         }
+        let geometry = self.config.flash_geometry;
+        let pages = self.config.pages_per_group();
         let (first, last) = self.groups_covering(start, len);
         let mut finished = now;
         let mut cursor = now;
@@ -329,20 +350,37 @@ impl Flashvisor {
             cursor = self.charge_cpu(cursor, self.config.flashvisor_request_cycles);
             self.stats.mapping_lookups += 1;
             // Invalidate the previous location, if any.
-            if let Some(old) = self.logical_slot(lg)? {
-                for addr in self.group_pages(old) {
-                    // An unwritten trailing page of a partially used group is
-                    // not an error worth surfacing here.
-                    let _ = self.backbone.invalidate(addr);
+            let old = self.logical_slot(lg)?;
+            if let Some(old) = old {
+                for i in 0..pages {
+                    let addr = geometry.flat_to_addr(old * pages + i);
+                    match self.backbone.invalidate(addr) {
+                        Ok(()) => {}
+                        // An unwritten trailing page of a partially used
+                        // group is the one benign case; anything else — an
+                        // out-of-range address, a worn die — is a real
+                        // fault the caller must see.
+                        Err(FlashError::ReadUnwritten(_)) => {}
+                        Err(e) => return Err(e.into()),
+                    }
                 }
                 self.stats.overwritten_groups += 1;
             }
             let pg = self.allocate_physical_group()?;
-            for addr in self.group_pages(pg) {
-                let completion = self.backbone.submit(cursor, FlashCommand::program(addr))?;
-                finished = finished.max(completion.finished);
+            let batch = self.backbone.submit_batch(
+                cursor,
+                (0..pages).map(|i| FlashCommand::program(geometry.flat_to_addr(pg * pages + i))),
+            )?;
+            finished = finished.max(batch.finished);
+            // Commit the remap and both index directions together, only
+            // once the programs succeeded: a failure above must leave the
+            // old mapping (and its reverse entry) intact so GC can still
+            // find the group.
+            if let Some(old) = old {
+                self.reverse[old as usize] = None;
             }
             self.mapping[lg as usize] = Some(pg);
+            self.reverse[pg as usize] = Some(lg);
             self.dirty_mapping_entries += 1;
             self.stats.group_writes += 1;
         }
@@ -364,7 +402,39 @@ impl Flashvisor {
     pub fn remap_group(&mut self, logical_group: u64, new_physical: u64) -> Option<u64> {
         let slot = self.mapping.get_mut(logical_group as usize)?;
         self.dirty_mapping_entries += 1;
-        slot.replace(new_physical)
+        let old = slot.replace(new_physical);
+        if let Some(old) = old {
+            if let Some(r) = self.reverse.get_mut(old as usize) {
+                *r = None;
+            }
+        }
+        if let Some(r) = self.reverse.get_mut(new_physical as usize) {
+            *r = Some(logical_group);
+        }
+        old
+    }
+
+    /// The logical group currently mapped to physical group `pg`, filtered
+    /// through the forward mapping so stale reverse entries never leak out.
+    pub fn logical_group_mapped_to(&self, pg: u64) -> Option<u64> {
+        let lg = (*self.reverse.get(pg as usize)?)?;
+        (self.mapping.get(lg as usize).copied().flatten() == Some(pg)).then_some(lg)
+    }
+
+    /// The `(logical, physical)` pairs whose physical groups fall in
+    /// `[group_low, group_high)`, ordered by logical group — the view one
+    /// GC pass takes of its victim block. O(groups per block) via the
+    /// reverse index, instead of a scan over the whole mapping table.
+    pub fn victim_groups(&self, group_low: u64, group_high: u64) -> Vec<(u64, u64)> {
+        let high = group_high.min(self.reverse.len() as u64);
+        let mut victims: Vec<(u64, u64)> = (group_low..high)
+            .filter_map(|pg| self.logical_group_mapped_to(pg).map(|lg| (lg, pg)))
+            .collect();
+        // Storengine migrates in logical-group order (the order the old
+        // full-table scan produced); keep that contract so the default GC
+        // policy reproduces the recorded physics exactly.
+        victims.sort_unstable();
+        victims
     }
 
     /// Number of mapping entries modified since the last journal dump, and
@@ -388,7 +458,20 @@ impl Flashvisor {
 
     /// Hands a reclaimed physical group back to the allocator.
     pub fn recycle_group(&mut self, physical_group: u64) {
-        self.free_groups.push_back(physical_group);
+        self.freespace.recycle(physical_group);
+    }
+
+    /// Reclaims the whole group range `[low, high)` after its erase-block
+    /// row was erased (see [`FreeSpaceManager::reclaim_range`]). Every
+    /// group in the range must be unmapped. Returns how many groups were
+    /// newly freed.
+    pub fn reclaim_group_range(&mut self, low: u64, high: u64) -> u64 {
+        debug_assert!(
+            (low..high.min(self.reverse.len() as u64))
+                .all(|pg| self.logical_group_mapped_to(pg).is_none()),
+            "reclaiming a range that still holds mapped groups"
+        );
+        self.freespace.reclaim_range(low, high)
     }
 
     /// Allocates a physical page group on behalf of Storengine's valid-page
@@ -396,6 +479,25 @@ impl Flashvisor {
     /// Flashvisor statistics or CPU time — migration is Storengine's work).
     pub fn allocate_group_for_gc(&mut self) -> Option<u64> {
         self.allocate_physical_group().ok()
+    }
+
+    /// Like [`Flashvisor::allocate_group_for_gc`], but never returns a
+    /// group in `[low, high)`: a row-coherent GC pass must not program
+    /// relocated data into the very row it is about to erase. Groups
+    /// popped from inside the range are handed straight back to the free
+    /// structure.
+    pub fn allocate_group_for_gc_excluding(&mut self, low: u64, high: u64) -> Option<u64> {
+        let mut skipped = Vec::new();
+        let picked = loop {
+            match self.freespace.allocate() {
+                Some(g) if g >= low && g < high => skipped.push(g),
+                other => break other,
+            }
+        };
+        for g in skipped {
+            self.freespace.recycle(g);
+        }
+        picked
     }
 
     /// Size of the mapping table in bytes (scratchpad footprint).

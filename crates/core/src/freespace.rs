@@ -1,0 +1,402 @@
+//! Incremental free-space management for physical page groups.
+//!
+//! Flashvisor allocates every data-section write (and every GC migration)
+//! a physical page group. This module owns that bookkeeping as a proper
+//! subsystem: an O(1)-pop free structure, per-stripe occupancy counters,
+//! and a pluggable [`PlacementPolicy`] deciding *which* free group a write
+//! lands on. Keeping the metadata next to the allocator — instead of
+//! deriving it by scanning the mapping table — is what keeps the hot write
+//! path allocator-bound on the hardware model, not on the simulator.
+//!
+//! Because pages stripe across channels first (see
+//! [`fa_flash::FlashGeometry::flat_to_addr`]), a page group's *stripe
+//! class* is the `(channel, die)` pair its leading page lands on.
+//! [`PlacementPolicy::FirstFree`] reproduces the log-structured cursor +
+//! recycled-FIFO allocator byte for byte; it is the default and keeps all
+//! recorded figure output identical. [`PlacementPolicy::ChannelStriped`]
+//! round-robins allocations across the stripe classes, spreading
+//! consecutive groups over the channel/die fan-out when groups are
+//! narrower than the full die array.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Which free group the allocator hands to the next write.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Log-structured: recycled groups in FIFO order first, then the next
+    /// never-used group. Reproduces the pre-subsystem allocator exactly.
+    #[default]
+    FirstFree,
+    /// Round-robin across stripe classes (the `(channel, die)` of each
+    /// group's leading page), FIFO within a class.
+    ChannelStriped,
+}
+
+impl PlacementPolicy {
+    /// Short label for reports and perf records.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlacementPolicy::FirstFree => "FirstFree",
+            PlacementPolicy::ChannelStriped => "ChannelStriped",
+        }
+    }
+}
+
+/// Policy-specific free-group storage. Both variants pop and push in O(1)
+/// (amortized; the striped pop probes at most one queue per stripe class).
+#[derive(Debug, Clone)]
+enum FreePool {
+    /// Never-used groups live implicitly in `cursor..total`; recycled
+    /// groups queue in FIFO order and are reused before the cursor moves.
+    FirstFree {
+        cursor: u64,
+        recycled: VecDeque<u64>,
+    },
+    /// One FIFO queue of free groups per stripe class, with a rotating
+    /// class cursor.
+    Striped {
+        queues: Vec<VecDeque<u64>>,
+        next_class: usize,
+    },
+}
+
+/// The free-space manager: free-group structure plus occupancy accounting.
+#[derive(Debug, Clone)]
+pub struct FreeSpaceManager {
+    total_groups: u64,
+    pages_per_group: u64,
+    channels: u64,
+    dies_per_channel: u64,
+    policy: PlacementPolicy,
+    pool: FreePool,
+    /// Groups currently free, maintained incrementally — never derived by
+    /// scanning.
+    free_count: u64,
+    /// Per-group free flag, kept in lockstep with the pool: makes
+    /// `recycle` idempotent and row reclamation exact.
+    free_flags: Vec<bool>,
+    /// Allocated groups per stripe class.
+    occupancy: Vec<u64>,
+}
+
+impl FreeSpaceManager {
+    /// Creates a manager with every group free.
+    pub fn new(
+        total_groups: u64,
+        pages_per_group: u64,
+        channels: usize,
+        dies_per_channel: usize,
+        policy: PlacementPolicy,
+    ) -> Self {
+        let channels = channels.max(1) as u64;
+        let dies_per_channel = dies_per_channel.max(1) as u64;
+        let classes = (channels * dies_per_channel) as usize;
+        let mut manager = FreeSpaceManager {
+            total_groups,
+            pages_per_group: pages_per_group.max(1),
+            channels,
+            dies_per_channel,
+            policy,
+            pool: FreePool::FirstFree {
+                cursor: 0,
+                recycled: VecDeque::new(),
+            },
+            free_count: total_groups,
+            free_flags: vec![true; total_groups as usize],
+            occupancy: vec![0; classes],
+        };
+        if policy == PlacementPolicy::ChannelStriped {
+            // Materialize the per-class queues once, in ascending group
+            // order, so striped allocation stays deterministic.
+            let mut queues = vec![VecDeque::new(); classes];
+            for g in 0..total_groups {
+                queues[manager.stripe_class(g)].push_back(g);
+            }
+            manager.pool = FreePool::Striped {
+                queues,
+                next_class: 0,
+            };
+        }
+        manager
+    }
+
+    /// Total page groups under management.
+    pub fn total_groups(&self) -> u64 {
+        self.total_groups
+    }
+
+    /// Groups currently free. O(1).
+    pub fn free_count(&self) -> u64 {
+        self.free_count
+    }
+
+    /// The placement policy in force.
+    pub fn policy(&self) -> PlacementPolicy {
+        self.policy
+    }
+
+    /// Number of stripe classes (channels × dies per channel).
+    pub fn class_count(&self) -> usize {
+        self.occupancy.len()
+    }
+
+    /// Stripe class of group `g`: the `(channel, die)` its leading page
+    /// occupies, flattened as `channel * dies_per_channel + die`.
+    pub fn stripe_class(&self, g: u64) -> usize {
+        let flat = g * self.pages_per_group;
+        let channel = flat % self.channels;
+        let die = (flat / self.channels) % self.dies_per_channel;
+        (channel * self.dies_per_channel + die) as usize
+    }
+
+    /// Allocated groups per stripe class, indexed like
+    /// [`FreeSpaceManager::stripe_class`].
+    pub fn occupancy(&self) -> &[u64] {
+        &self.occupancy
+    }
+
+    /// Pops the next free group under the placement policy, or `None` when
+    /// the device is full.
+    pub fn allocate(&mut self) -> Option<u64> {
+        let g = match &mut self.pool {
+            FreePool::FirstFree { cursor, recycled } => {
+                if let Some(g) = recycled.pop_front() {
+                    g
+                } else if *cursor < self.total_groups {
+                    let g = *cursor;
+                    *cursor += 1;
+                    g
+                } else {
+                    return None;
+                }
+            }
+            FreePool::Striped { queues, next_class } => {
+                let classes = queues.len();
+                let mut picked = None;
+                for probe in 0..classes {
+                    let class = (*next_class + probe) % classes;
+                    if let Some(g) = queues[class].pop_front() {
+                        *next_class = (class + 1) % classes;
+                        picked = Some(g);
+                        break;
+                    }
+                }
+                picked?
+            }
+        };
+        self.free_count -= 1;
+        self.free_flags[g as usize] = false;
+        let class = self.stripe_class(g);
+        self.occupancy[class] += 1;
+        Some(g)
+    }
+
+    /// True when group `g` is currently in the free structure.
+    pub fn is_free(&self, g: u64) -> bool {
+        self.free_flags.get(g as usize).copied().unwrap_or_default()
+    }
+
+    /// Returns a reclaimed group to the free structure. Recycling a group
+    /// that is already free is a no-op, so a double recycle cannot put the
+    /// same group in the pool twice.
+    pub fn recycle(&mut self, g: u64) {
+        if self.free_flags[g as usize] {
+            return;
+        }
+        self.free_flags[g as usize] = true;
+        let class = self.stripe_class(g);
+        match &mut self.pool {
+            FreePool::FirstFree { recycled, .. } => recycled.push_back(g),
+            FreePool::Striped { queues, .. } => queues[class].push_back(g),
+        }
+        self.free_count += 1;
+        // Saturating: recycling a never-allocated group (test scaffolding
+        // does this) must not wrap the per-class gauge.
+        self.occupancy[class] = self.occupancy[class].saturating_sub(1);
+    }
+
+    /// Reclaims the whole group range `[low, high)` after its backing
+    /// erase-block row was erased: every in-range member already in the
+    /// pool is pulled out, every in-range group is freed, and the range
+    /// re-enters the free structure as one *ascending* run. Consuming an
+    /// ascending run refills the erased blocks from page 0 in NAND
+    /// programming order, which is what makes reclaimed rows actually
+    /// reusable. The caller guarantees nothing in the range is mapped and
+    /// all of its blocks are erased. Returns how many groups were newly
+    /// freed (garbage that was never individually recycled).
+    pub fn reclaim_range(&mut self, low: u64, high: u64) -> u64 {
+        let high = high.min(self.total_groups);
+        if low >= high {
+            return 0;
+        }
+        let in_range = |g: &u64| *g < low || *g >= high;
+        match &mut self.pool {
+            FreePool::FirstFree { recycled, .. } => recycled.retain(in_range),
+            FreePool::Striped { queues, .. } => {
+                for q in queues.iter_mut() {
+                    q.retain(in_range);
+                }
+            }
+        }
+        let mut newly_freed = 0;
+        for g in low..high {
+            let was_free = std::mem::replace(&mut self.free_flags[g as usize], true);
+            let class = self.stripe_class(g);
+            if !was_free {
+                newly_freed += 1;
+                self.free_count += 1;
+                self.occupancy[class] = self.occupancy[class].saturating_sub(1);
+            }
+            match &mut self.pool {
+                // Groups at or past the cursor are still represented by the
+                // cursor itself (and allocate in ascending order from it).
+                FreePool::FirstFree { cursor, recycled } => {
+                    if g < *cursor {
+                        recycled.push_back(g);
+                    }
+                }
+                FreePool::Striped { queues, .. } => queues[class].push_back(g),
+            }
+        }
+        newly_freed
+    }
+
+    /// Every group currently in the free structure, in pop order per
+    /// policy. O(free); property-test oracle only.
+    pub fn debug_free_groups(&self) -> Vec<u64> {
+        match &self.pool {
+            FreePool::FirstFree { cursor, recycled } => recycled
+                .iter()
+                .copied()
+                .chain(*cursor..self.total_groups)
+                .collect(),
+            FreePool::Striped { queues, .. } => {
+                queues.iter().flat_map(|q| q.iter().copied()).collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_free_reproduces_cursor_then_fifo_order() {
+        let mut m = FreeSpaceManager::new(8, 2, 2, 1, PlacementPolicy::FirstFree);
+        assert_eq!(m.free_count(), 8);
+        assert_eq!(m.allocate(), Some(0));
+        assert_eq!(m.allocate(), Some(1));
+        m.recycle(0);
+        m.recycle(1);
+        // Recycled groups come back in FIFO order, before the cursor moves.
+        assert_eq!(m.allocate(), Some(0));
+        assert_eq!(m.allocate(), Some(1));
+        assert_eq!(m.allocate(), Some(2));
+        assert_eq!(m.free_count(), 5);
+    }
+
+    #[test]
+    fn exhaustion_returns_none_until_recycle() {
+        let mut m = FreeSpaceManager::new(2, 1, 1, 1, PlacementPolicy::FirstFree);
+        assert_eq!(m.allocate(), Some(0));
+        assert_eq!(m.allocate(), Some(1));
+        assert_eq!(m.allocate(), None);
+        m.recycle(1);
+        assert_eq!(m.free_count(), 1);
+        assert_eq!(m.allocate(), Some(1));
+    }
+
+    #[test]
+    fn striped_rotates_across_classes() {
+        // 8 groups of 1 page on 2 channels × 2 dies: group g's leading page
+        // is flat page g, so classes cycle 0,2,1,3 (channel first, then
+        // die) as g increases.
+        let mut m = FreeSpaceManager::new(8, 1, 2, 2, PlacementPolicy::ChannelStriped);
+        assert_eq!(m.class_count(), 4);
+        let picks: Vec<u64> = (0..4).map(|_| m.allocate().unwrap()).collect();
+        let classes: Vec<usize> = picks.iter().map(|&g| m.stripe_class(g)).collect();
+        // Four consecutive allocations cover all four stripe classes.
+        let mut sorted = classes.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+        // Occupancy gauges saw one allocation per class.
+        assert_eq!(m.occupancy(), &[1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn striped_skips_empty_classes_and_exhausts_cleanly() {
+        let mut m = FreeSpaceManager::new(4, 1, 2, 1, PlacementPolicy::ChannelStriped);
+        let mut got = Vec::new();
+        while let Some(g) = m.allocate() {
+            got.push(g);
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        assert_eq!(m.free_count(), 0);
+        m.recycle(3);
+        assert_eq!(m.allocate(), Some(3));
+        assert_eq!(m.allocate(), None);
+    }
+
+    #[test]
+    fn double_recycle_is_idempotent() {
+        let mut m = FreeSpaceManager::new(4, 1, 1, 1, PlacementPolicy::FirstFree);
+        let g = m.allocate().unwrap();
+        assert!(!m.is_free(g));
+        m.recycle(g);
+        m.recycle(g);
+        assert!(m.is_free(g));
+        assert_eq!(m.free_count(), 4);
+        assert_eq!(m.debug_free_groups().len(), 4);
+    }
+
+    #[test]
+    fn reclaim_range_reinserts_an_ascending_run() {
+        for policy in [PlacementPolicy::FirstFree, PlacementPolicy::ChannelStriped] {
+            let mut m = FreeSpaceManager::new(8, 1, 1, 1, policy);
+            // Allocate six groups, recycle two of them out of order, and
+            // leave two allocated-but-unmapped (garbage).
+            let held: Vec<u64> = (0..6).map(|_| m.allocate().unwrap()).collect();
+            m.recycle(held[3]);
+            m.recycle(held[1]);
+            // Reclaim the whole row [0, 6): the two garbage groups are
+            // newly freed, the recycled ones are re-ordered, and the pool
+            // pops the run ascending.
+            let newly = m.reclaim_range(0, 6);
+            assert_eq!(newly, 4, "{policy:?}");
+            assert_eq!(m.free_count(), 8, "{policy:?}");
+            // Drain everything: the reclaimed range must come back as one
+            // ascending contiguous run (free groups that were already
+            // queued ahead of it may pop first).
+            let drained: Vec<u64> = (0..8).map(|_| m.allocate().unwrap()).collect();
+            assert_eq!(m.allocate(), None, "{policy:?}");
+            let run: Vec<u64> = drained.iter().copied().filter(|g| *g < 6).collect();
+            assert_eq!(run, vec![0, 1, 2, 3, 4, 5], "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn occupancy_and_free_set_stay_consistent() {
+        for policy in [PlacementPolicy::FirstFree, PlacementPolicy::ChannelStriped] {
+            let mut m = FreeSpaceManager::new(16, 2, 2, 2, policy);
+            let mut held = Vec::new();
+            for _ in 0..10 {
+                held.push(m.allocate().unwrap());
+            }
+            for g in held.drain(..5) {
+                m.recycle(g);
+            }
+            let free = m.debug_free_groups();
+            assert_eq!(free.len() as u64, m.free_count(), "{policy:?}");
+            let occupied: u64 = m.occupancy().iter().sum();
+            assert_eq!(occupied + m.free_count(), 16, "{policy:?}");
+            // No group is simultaneously free twice.
+            let mut dedup = free.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), free.len(), "{policy:?}");
+        }
+    }
+}

@@ -10,6 +10,9 @@
 //! * [`flashvisor`] — flash virtualization: the page-group mapping table
 //!   held in scratchpad, logical→physical translation, data-section reads
 //!   and writes against the flash backbone, and access control.
+//! * [`freespace`] — incremental free-space management: the O(1)-pop
+//!   free-group structure, per-stripe occupancy counters, and the
+//!   placement policies Flashvisor allocates through.
 //! * [`storengine`] — the storage-management LWP: metadata journaling,
 //!   round-robin block reclamation (garbage collection), valid-page
 //!   migration, and wear accounting, all off the critical path (§4.3).
@@ -54,6 +57,7 @@
 pub mod config;
 pub mod error;
 pub mod flashvisor;
+pub mod freespace;
 pub mod metrics;
 pub mod rangelock;
 pub mod scheduler;
@@ -63,8 +67,9 @@ pub mod system;
 pub use config::FlashAbacusConfig;
 pub use error::FaError;
 pub use flashvisor::Flashvisor;
+pub use freespace::{FreeSpaceManager, PlacementPolicy};
 pub use metrics::{EnergySummary, KernelLatency, RunOutcome};
 pub use rangelock::{LockMode, RangeLockTable};
 pub use scheduler::SchedulerPolicy;
-pub use storengine::Storengine;
+pub use storengine::{GcVictimPolicy, Storengine};
 pub use system::FlashAbacusSystem;

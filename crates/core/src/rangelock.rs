@@ -12,7 +12,7 @@
 //! operations.
 
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Whether a data section is mapped for reads or writes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -63,6 +63,13 @@ pub struct RangeLockTable {
     /// Locks keyed by `(start, id)` so overlapping ranges can coexist under
     /// distinct keys while keeping ordered traversal by start address.
     locks: BTreeMap<(u64, u64), LockEntry>,
+    /// Lock id → start address, so a single release is an indexed removal
+    /// rather than a scan of the whole table.
+    by_id: BTreeMap<u64, u64>,
+    /// Owner → the `(start, id)` keys it holds, so kernel teardown
+    /// (`release_owner`) removes exactly its own locks instead of
+    /// re-filtering every entry in the table.
+    by_owner: BTreeMap<u32, BTreeSet<(u64, u64)>>,
     next_id: u64,
     grants: u64,
     denials: u64,
@@ -137,18 +144,41 @@ impl RangeLockTable {
                 owner,
             },
         );
+        self.by_id.insert(id.0, start);
+        self.by_owner
+            .entry(owner)
+            .or_default()
+            .insert((start, id.0));
         Some(id)
     }
 
     /// Releases a previously granted lock. Releasing an unknown id is a
     /// no-op (the double release of an already unmapped section).
     pub fn release(&mut self, id: LockId) {
-        self.locks.retain(|_, l| l.id != id);
+        let Some(start) = self.by_id.remove(&id.0) else {
+            return;
+        };
+        if let Some(entry) = self.locks.remove(&(start, id.0)) {
+            if let Some(keys) = self.by_owner.get_mut(&entry.owner) {
+                keys.remove(&(start, id.0));
+                if keys.is_empty() {
+                    self.by_owner.remove(&entry.owner);
+                }
+            }
+        }
     }
 
-    /// Releases every lock held by `owner` (kernel teardown).
+    /// Releases every lock held by `owner` (kernel teardown). Indexed by
+    /// the per-owner key set, so teardown cost is proportional to the
+    /// owner's own locks, not the table size.
     pub fn release_owner(&mut self, owner: u32) {
-        self.locks.retain(|_, l| l.owner != owner);
+        let Some(keys) = self.by_owner.remove(&owner) else {
+            return;
+        };
+        for key in keys {
+            self.locks.remove(&key);
+            self.by_id.remove(&key.1);
+        }
     }
 
     /// All currently held ranges, ordered by start address.
@@ -218,6 +248,27 @@ mod tests {
     }
 
     #[test]
+    fn indexed_release_paths_stay_consistent() {
+        let mut t = RangeLockTable::new();
+        let a = t.try_acquire(0, 10, LockMode::Write, 1).unwrap();
+        let _b = t.try_acquire(10, 20, LockMode::Write, 1).unwrap();
+        let c = t.try_acquire(20, 30, LockMode::Write, 2).unwrap();
+        // Single release, then owner teardown of the remaining owner-1 lock.
+        t.release(a);
+        t.release_owner(1);
+        assert_eq!(t.held(), 1);
+        assert_eq!(t.held_ranges(), vec![(20, 30, LockMode::Write, 2)]);
+        // Tearing down owner 1 again (nothing held) and double-releasing c
+        // are both no-ops.
+        t.release_owner(1);
+        t.release(c);
+        t.release(c);
+        assert_eq!(t.held(), 0);
+        // The indices did not leak: every freed range is re-acquirable.
+        assert!(t.try_acquire(0, 30, LockMode::Write, 3).is_some());
+    }
+
+    #[test]
     fn find_conflict_reports_the_blocking_range() {
         let mut t = RangeLockTable::new();
         t.try_acquire(100, 200, LockMode::Write, 1).unwrap();
@@ -251,6 +302,12 @@ mod tests {
                     }
                 }
             }
+            // Owner teardown through the per-owner index drains the table
+            // completely — the indices never leak an entry.
+            for owner in 0..8 {
+                t.release_owner(owner);
+            }
+            prop_assert_eq!(t.held(), 0);
         }
     }
 }

@@ -17,6 +17,29 @@ use fa_sim::resource::FifoServer;
 use fa_sim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
+/// How a reclamation pass picks its victim block.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GcVictimPolicy {
+    /// Visit blocks in order, no valid-page counting — the paper's cheap
+    /// §4.3 policy and the default.
+    #[default]
+    RoundRobin,
+    /// Pick the reclaimable block with the fewest valid pages from the
+    /// backbone's incremental valid-page index (cheapest migration);
+    /// falls back to round-robin when nothing holds garbage.
+    GreedyMinValid,
+}
+
+impl GcVictimPolicy {
+    /// Short label for reports and perf records.
+    pub fn label(self) -> &'static str {
+        match self {
+            GcVictimPolicy::RoundRobin => "RoundRobin",
+            GcVictimPolicy::GreedyMinValid => "GreedyMinValid",
+        }
+    }
+}
+
 /// Statistics kept by Storengine.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct StorengineStats {
@@ -170,37 +193,50 @@ impl Storengine {
         let geometry = self.config.flash_geometry;
         let pages_per_group = self.config.pages_per_group();
         let total_blocks = geometry.total_blocks();
-        // Pick the next victim block in round-robin order.
-        let victim_index = self.victim_cursor % total_blocks;
-        self.victim_cursor += 1;
-        let blocks_per_die = geometry.blocks_per_die() as u64;
-        let dies_per_channel = geometry.dies_per_channel() as u64;
-        let channel = (victim_index / (blocks_per_die * dies_per_channel)) as usize;
-        let die = ((victim_index / blocks_per_die) % dies_per_channel) as usize;
-        let block = (victim_index % blocks_per_die) as usize;
+        // Pick the victim block under the configured policy.
+        let victim_index = match self.config.gc_victim {
+            GcVictimPolicy::RoundRobin => {
+                let v = self.victim_cursor % total_blocks;
+                self.victim_cursor += 1;
+                v
+            }
+            GcVictimPolicy::GreedyMinValid => {
+                match flashvisor.backbone().min_valid_garbage_block() {
+                    Some(b) => b,
+                    // Nothing holds garbage: fall back to the round-robin
+                    // walk so the pass still erases *something* reclaimable
+                    // in the long run.
+                    None => {
+                        let v = self.victim_cursor % total_blocks;
+                        self.victim_cursor += 1;
+                        v
+                    }
+                }
+            }
+        };
+        let (channel, die, block) = geometry.block_index_to_addr(victim_index);
 
         // Load the page-table entries for the victim (reads from flash, the
         // paper's Storengine loads them from the backbone metadata area).
         let mut cursor = self.charge_cpu(now, 2_000);
 
-        // Find the logical groups whose physical groups live in this block.
-        let group_low = (victim_index * geometry.pages_per_block as u64) / pages_per_group;
-        let group_high =
-            ((victim_index + 1) * geometry.pages_per_block as u64).div_ceil(pages_per_group);
-        let victims: Vec<(u64, u64)> = flashvisor
-            .mapped_groups()
-            .filter(|(_, pg)| {
-                // A physical group lives in this block if its first page's
-                // flat index falls inside the block's page range. Page
-                // groups stripe across channels, so this is approximate for
-                // geometries whose groups span blocks; the tests pin the
-                // exact behaviour for the prototype layout.
-                *pg >= group_low && *pg < group_high
-            })
-            .collect();
+        // Find the logical groups this pass migrates. RoundRobin keeps the
+        // block-order slice of the group space (the paper's cheap walk,
+        // byte-identical to the pre-subsystem scan); GreedyMinValid
+        // migrates the victim's whole block row — every group with a page
+        // in the chosen block — so its erase never destroys a mapped group
+        // the pass did not migrate. Either way the reverse index answers
+        // in O(groups per range) what a full mapping-table scan used to.
+        let (group_low, group_high) = match self.config.gc_victim {
+            GcVictimPolicy::RoundRobin => self.config.gc_scan_group_range(victim_index),
+            GcVictimPolicy::GreedyMinValid => self.config.block_row_group_range(block as u64),
+        };
+        let victims = flashvisor.victim_groups(group_low, group_high);
 
+        let row_coherent = self.config.gc_victim == GcVictimPolicy::GreedyMinValid;
         let mut migrated = 0u64;
         let mut reclaimed_groups = 0u64;
+        let mut migration_clean = true;
         for (lg, old_pg) in victims {
             // Migrate: read valid pages of the old group, program them into
             // a new group, update the mapping.
@@ -219,9 +255,26 @@ impl Storengine {
             }
             // Allocation for the migrated copy reuses the normal write path
             // bookkeeping via remap: pick the next free group through a
-            // write-sized CPU charge and the backbone programs.
-            let new_pg = match self.allocate_for_migration(flashvisor) {
+            // write-sized CPU charge and the backbone programs. A
+            // row-coherent pass excludes its own victim range so the erase
+            // below cannot destroy freshly relocated data.
+            let destination = match self.config.gc_victim {
+                GcVictimPolicy::RoundRobin => self.allocate_for_migration(flashvisor),
+                GcVictimPolicy::GreedyMinValid => {
+                    flashvisor.allocate_group_for_gc_excluding(group_low, group_high)
+                }
+            };
+            let new_pg = match destination {
                 Some(g) => g,
+                // Every free group lies inside the row this pass wants to
+                // erase: there is nowhere safe to relocate to, so leave the
+                // group mapped where it is and keep the pass
+                // non-destructive rather than aborting the run — the space
+                // is still there, just not reachable by this victim choice.
+                None if row_coherent && flashvisor.free_physical_groups() > 0 => {
+                    migration_clean = false;
+                    continue;
+                }
                 None => {
                     return Err(FaError::OutOfFlashSpace {
                         requested: 1,
@@ -229,24 +282,74 @@ impl Storengine {
                     })
                 }
             };
+            let mut programmed_ok = true;
             for i in 0..pages_per_group {
                 let flat = new_pg * pages_per_group + i;
                 if flat >= geometry.total_pages() {
                     continue;
                 }
                 let addr = geometry.flat_to_addr(flat);
-                if let Ok(c) = flashvisor
+                match flashvisor
                     .backbone_mut()
                     .submit(cursor, FlashCommand::program(addr))
                 {
-                    cursor = cursor.max(c.finished);
+                    Ok(c) => cursor = cursor.max(c.finished),
+                    Err(_) => programmed_ok = false,
                 }
+            }
+            if row_coherent && !programmed_ok {
+                // The destination could not take the data (a recycled group
+                // in a block whose write cursor does not line up). Leave
+                // the group mapped where it is and leak the unusable
+                // destination — the erase below is skipped, so nothing
+                // mapped is lost. RoundRobin keeps the seed's
+                // ignore-and-continue behaviour for byte-identical output.
+                migration_clean = false;
+                continue;
             }
             flashvisor.remap_group(lg, new_pg);
             migrated += pages_per_group;
             reclaimed_groups += 1;
             flashvisor.recycle_group(old_pg);
             self.stats.pages_migrated += pages_per_group;
+        }
+
+        if row_coherent && !migration_clean {
+            // At least one group still lives in the victim row: erasing
+            // would destroy mapped data, so this pass only banks the
+            // migrations that did succeed.
+            return Ok(GcOutcome {
+                groups_reclaimed: reclaimed_groups,
+                pages_migrated: migrated,
+                finished: cursor,
+            });
+        }
+
+        if row_coherent {
+            // Row-coherent reclamation: the whole row is now unmapped, so
+            // erase every block of it (they parallelize across channels
+            // and dies) and hand the range back to the allocator as one
+            // ascending run — reusable from page 0 in NAND programming
+            // order. This also recovers overwrite garbage that was never
+            // individually recycled.
+            let mut finished = cursor;
+            for ch in 0..geometry.channels {
+                for d in 0..geometry.dies_per_channel() {
+                    let erase_addr = PhysicalPageAddr::new(ch, d, block, 0);
+                    let erased = flashvisor
+                        .backbone_mut()
+                        .submit(cursor, FlashCommand::erase(erase_addr))?;
+                    finished = finished.max(erased.finished);
+                    self.stats.erases += 1;
+                    self.stats.blocks_reclaimed += 1;
+                }
+            }
+            reclaimed_groups += flashvisor.reclaim_group_range(group_low, group_high);
+            return Ok(GcOutcome {
+                groups_reclaimed: reclaimed_groups,
+                pages_migrated: migrated,
+                finished,
+            });
         }
 
         // Erase the victim block.
@@ -349,6 +452,48 @@ mod tests {
         // Relocated-but-live data is still mapped.
         assert!(v.physical_group_of(0).is_some());
         let _ = reclaimed;
+    }
+
+    #[test]
+    fn greedy_gc_preserves_all_mapped_data() {
+        // The GreedyMinValid regression: the pass must migrate exactly the
+        // groups covering its victim block (the block row), keep relocation
+        // destinations out of that row, and therefore never erase mapped
+        // data it did not move. Read-back of every logical group after a
+        // full greedy drain proves it.
+        let mut config = FlashAbacusConfig::tiny_for_tests(SchedulerPolicy::IntraO3);
+        config.gc_victim = GcVictimPolicy::GreedyMinValid;
+        let mut s = Storengine::new(config);
+        let mut v = Flashvisor::new(config);
+        let mut sp = Scratchpad::new(&PlatformSpec::paper_prototype());
+        let group = config.page_group_bytes;
+        v.write_section(SimTime::ZERO, 0, 8 * group, &mut sp)
+            .unwrap();
+        // Overwrite to create garbage in the first block row.
+        v.write_section(SimTime::from_ms(1), 0, 8 * group, &mut sp)
+            .unwrap();
+        let mut now = SimTime::from_ms(10);
+        for _ in 0..6 {
+            let out = s.collect_garbage(now, &mut v).unwrap();
+            now = out.finished;
+        }
+        assert!(s.stats().blocks_reclaimed > 0);
+        // Every logical group is still mapped and every one of its pages
+        // is readable — nothing mapped was erased unmigrated.
+        let t = v.read_section(now, 0, 8 * group, &mut sp).unwrap();
+        assert_eq!(t.groups, 8);
+        assert!(t.finished > now);
+        // The device keeps working after greedy GC: fresh writes and
+        // overwrites (which draw reclaimed row groups off the free
+        // structure) must program cleanly.
+        v.write_section(t.finished, 16 * group, 4 * group, &mut sp)
+            .unwrap();
+        v.write_section(SimTime::from_ms(60), 0, 8 * group, &mut sp)
+            .unwrap();
+        let t = v
+            .read_section(SimTime::from_ms(80), 0, 8 * group, &mut sp)
+            .unwrap();
+        assert_eq!(t.groups, 8);
     }
 
     #[test]

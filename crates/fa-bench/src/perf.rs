@@ -1,17 +1,22 @@
 //! Shared helpers for the harness's self-measurement (the `perfstat`
-//! binary and the `frontier` bench): a synthetic dispatch-shaped batch and
-//! the old full-rescan readiness walk kept as the comparison baseline.
+//! binary and the microbenchmarks): a synthetic dispatch-shaped batch, the
+//! old full-rescan readiness walk, the scan-based allocator, and the
+//! full-table GC victim scan — each kept as the comparison baseline its
+//! incremental replacement is measured against.
 //!
-//! Both consumers must measure the *same* batch shape and the *same*
-//! baseline algorithm, or the recorded `BENCH_PR2.json` numbers and the
-//! microbenchmark would silently drift apart — hence one definition here.
-//! (The frontier-vs-oracle *property test* deliberately does not use these
-//! helpers: its oracle must stay independent of the code under test.)
+//! All consumers must measure the *same* state and the *same* baseline
+//! algorithms, or the recorded `BENCH_PR*.json` numbers and the
+//! microbenchmarks would silently drift apart — hence one definition here.
+//! (The oracle *property tests* deliberately do not use these helpers:
+//! their oracles must stay independent of the code under test.)
 
 use fa_kernel::chain::{ExecutionChain, ScreenRef, ScreenState};
 use fa_kernel::instance::{instantiate_many, InstancePlan};
 use fa_kernel::model::{AppId, Application, ApplicationBuilder, DataSection};
 use fa_platform::lwp::InstructionMix;
+use flashabacus::config::FlashAbacusConfig;
+use flashabacus::scheduler::SchedulerPolicy;
+use flashabacus::Flashvisor;
 
 /// A synthetic batch totalling roughly `total_screens` screens spread over
 /// 8 instances with dependent microblocks — the shape the ready frontier
@@ -100,9 +105,82 @@ pub fn naive_ready_first(chain: &ExecutionChain, apps: &[Application]) -> Option
     None
 }
 
+/// The scan-based allocator shape the free-space subsystem replaces: every
+/// allocation walks the used-flags table from the front until it finds a
+/// free group. O(n) per pop, O(n²) per drain — the baseline the recorded
+/// `BENCH_PR3.json` speedups are measured against.
+pub struct NaiveScanAllocator {
+    used: Vec<bool>,
+}
+
+impl NaiveScanAllocator {
+    /// Creates an allocator with `total` free groups.
+    pub fn new(total: u64) -> Self {
+        NaiveScanAllocator {
+            used: vec![false; total as usize],
+        }
+    }
+
+    /// Scans for the first free group and takes it.
+    pub fn allocate(&mut self) -> Option<u64> {
+        let g = self.used.iter().position(|u| !u)?;
+        self.used[g] = true;
+        Some(g as u64)
+    }
+
+    /// Returns a group to the pool.
+    pub fn recycle(&mut self, g: u64) {
+        self.used[g as usize] = false;
+    }
+}
+
+/// Rebuilds one GC pass's victim view the way `Storengine` used to: a
+/// filter over *every* mapped group in the table, per pass — the full
+/// rescan the reverse index replaces.
+pub fn naive_victim_groups(v: &Flashvisor, group_low: u64, group_high: u64) -> Vec<(u64, u64)> {
+    v.mapped_groups()
+        .filter(|(_, pg)| *pg >= group_low && *pg < group_high)
+        .collect()
+}
+
+/// A paper-prototype Flashvisor with the first `groups` logical groups
+/// mapped — the mapping-table population a large campaign reaches. Shared
+/// by `perfstat` and the microbenchmarks so both measure the same state.
+pub fn populated_flashvisor(groups: u64) -> Flashvisor {
+    let config = FlashAbacusConfig::paper_prototype(SchedulerPolicy::IntraO3);
+    let groups = groups.min(config.total_page_groups());
+    let mut v = Flashvisor::new(config);
+    v.preload_range(0, groups * config.page_group_bytes)
+        .expect("preload within capacity");
+    v
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn naive_scan_allocator_hands_out_first_free() {
+        let mut a = NaiveScanAllocator::new(3);
+        assert_eq!(a.allocate(), Some(0));
+        assert_eq!(a.allocate(), Some(1));
+        a.recycle(0);
+        assert_eq!(a.allocate(), Some(0));
+        assert_eq!(a.allocate(), Some(2));
+        assert_eq!(a.allocate(), None);
+    }
+
+    #[test]
+    fn naive_victim_scan_agrees_with_the_reverse_index() {
+        let v = populated_flashvisor(4096);
+        for block in [0u64, 7, 63] {
+            let (low, high) = v.config().gc_scan_group_range(block);
+            assert_eq!(
+                naive_victim_groups(&v, low, high),
+                v.victim_groups(low, high)
+            );
+        }
+    }
 
     #[test]
     fn batch_has_roughly_the_requested_screen_count() {

@@ -10,6 +10,7 @@ use crate::controller::{ChannelController, ChannelOp, ChannelStats};
 use crate::error::FlashError;
 use crate::geometry::{FlashGeometry, PhysicalPageAddr};
 use crate::timing::FlashTiming;
+use crate::validindex::ValidPageIndex;
 use fa_sim::resource::SerializedResource;
 use fa_sim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -78,6 +79,17 @@ impl FlashCompletion {
     }
 }
 
+/// Completion record for a batch of commands submitted together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchCompletion {
+    /// When the batch was submitted.
+    pub submitted: SimTime,
+    /// When the last command of the batch finished.
+    pub finished: SimTime,
+    /// Number of commands in the batch.
+    pub commands: u64,
+}
+
 /// Aggregate backbone statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct BackboneStats {
@@ -98,6 +110,9 @@ pub struct FlashBackbone {
     timing: FlashTiming,
     channels: Vec<ChannelController>,
     srio: SerializedResource,
+    /// Backbone-wide valid-page accounting, updated on every command that
+    /// changes page state. Storengine's GC victim selection reads this.
+    valid_index: ValidPageIndex,
     stats: BackboneStats,
 }
 
@@ -120,6 +135,10 @@ impl FlashBackbone {
             timing,
             channels,
             srio: SerializedResource::new("srio-fmc", srio_bytes_per_sec),
+            valid_index: ValidPageIndex::new(
+                geometry.total_blocks() as usize,
+                geometry.pages_per_block,
+            ),
             stats: BackboneStats::default(),
         }
     }
@@ -204,6 +223,7 @@ impl FlashBackbone {
             return Err(FlashError::OutOfRange(command.addr));
         }
         let page_bytes = self.geometry.page_bytes as u64;
+        let block = self.geometry.block_index(command.addr);
         let channel = &mut self.channels[command.addr.channel];
         let finished = match command.op {
             FlashOp::ReadPage => {
@@ -218,12 +238,14 @@ impl FlashBackbone {
                 // Write data crosses SRIO before it reaches the channel.
                 let res = self.srio.reserve(now, page_bytes);
                 let done = channel.execute(res.end, ChannelOp::Program, command.addr, None)?;
+                self.valid_index.on_program(block);
                 self.stats.programs += 1;
                 self.stats.srio_bytes += page_bytes;
                 done
             }
             FlashOp::EraseBlock => {
                 let done = channel.execute(now, ChannelOp::Erase, command.addr, None)?;
+                self.valid_index.on_erase(block);
                 self.stats.erases += 1;
                 done
             }
@@ -235,16 +257,41 @@ impl FlashBackbone {
         })
     }
 
+    /// Submits a batch of commands at `now` and returns when the last one
+    /// finished. Semantically identical to calling
+    /// [`FlashBackbone::submit`] per command at the same instant, but
+    /// without a completion record per page — the vectored path the
+    /// multi-page group reads/writes of Flashvisor issue through. Stops at
+    /// the first failing command; commands before it have already taken
+    /// effect.
+    pub fn submit_batch(
+        &mut self,
+        now: SimTime,
+        commands: impl IntoIterator<Item = FlashCommand>,
+    ) -> Result<BatchCompletion, FlashError> {
+        let mut finished = now;
+        let mut count = 0u64;
+        for command in commands {
+            let completion = self.submit(now, command)?;
+            finished = finished.max(completion.finished);
+            count += 1;
+        }
+        Ok(BatchCompletion {
+            submitted: now,
+            finished,
+            commands: count,
+        })
+    }
+
     /// Marks a page valid without consuming device time (pre-experiment data
     /// placement; see [`crate::die::FlashDie::preload_page`]).
     pub fn preload(&mut self, addr: PhysicalPageAddr) -> Result<(), FlashError> {
         if !self.geometry.contains(addr) {
             return Err(FlashError::OutOfRange(addr));
         }
-        self.channels[addr.channel]
-            .die_mut(addr.die)
-            .ok_or(FlashError::OutOfRange(addr))?
-            .preload_page(addr.block, addr.page)
+        self.channels[addr.channel].preload(addr)?;
+        self.valid_index.on_program(self.geometry.block_index(addr));
+        Ok(())
     }
 
     /// Marks a page invalid (mapping-table act; consumes no device time).
@@ -252,12 +299,34 @@ impl FlashBackbone {
         if !self.geometry.contains(addr) {
             return Err(FlashError::OutOfRange(addr));
         }
-        self.channels[addr.channel].invalidate(addr)
+        self.channels[addr.channel].invalidate(addr)?;
+        self.valid_index
+            .on_invalidate(self.geometry.block_index(addr));
+        Ok(())
     }
 
-    /// Total number of valid pages across the backbone.
+    /// Total number of valid pages across the backbone. O(1): read from
+    /// the incremental valid-page index.
     pub fn total_valid_pages(&self) -> usize {
-        self.channels.iter().map(|c| c.total_valid_pages()).sum()
+        self.valid_index.total_valid() as usize
+    }
+
+    /// Brute-force recount of the backbone's valid pages from the die page
+    /// states — the property-test oracle for the incremental index.
+    pub fn recount_valid_pages(&self) -> usize {
+        self.channels.iter().map(|c| c.recount_valid_pages()).sum()
+    }
+
+    /// The incremental valid-page index (GC victim selection, oracles).
+    pub fn valid_index(&self) -> &ValidPageIndex {
+        &self.valid_index
+    }
+
+    /// The reclaimable block (≥1 invalid page) with the fewest valid pages,
+    /// as a flat [`FlashGeometry::block_index`]; `None` when nothing holds
+    /// garbage.
+    pub fn min_valid_garbage_block(&self) -> Option<u64> {
+        self.valid_index.min_valid_garbage_block()
     }
 
     /// Returns the number of valid pages in the given block.
@@ -354,6 +423,49 @@ mod tests {
         assert_eq!(b.erase_count(1, 0, 2), 1);
         b.submit(e.finished, FlashCommand::program(addr)).unwrap();
         assert_eq!(b.total_valid_pages(), 1);
+    }
+
+    #[test]
+    fn valid_index_tracks_commands_and_agrees_with_recount() {
+        let mut b = backbone();
+        let g = *b.geometry();
+        let a0 = PhysicalPageAddr::new(0, 0, 0, 0);
+        let a1 = PhysicalPageAddr::new(0, 0, 0, 1);
+        let a2 = PhysicalPageAddr::new(1, 0, 3, 0);
+        b.submit(SimTime::ZERO, FlashCommand::program(a0)).unwrap();
+        b.submit(SimTime::ZERO, FlashCommand::program(a1)).unwrap();
+        b.preload(a2).unwrap();
+        assert_eq!(b.total_valid_pages(), 3);
+        assert_eq!(b.total_valid_pages(), b.recount_valid_pages());
+        // Nothing holds garbage yet, so there is no victim.
+        assert_eq!(b.min_valid_garbage_block(), None);
+        b.invalidate(a1).unwrap();
+        let victim = b.min_valid_garbage_block().unwrap();
+        assert_eq!(victim, g.block_index(a0));
+        assert_eq!(b.valid_index().valid_in(victim), 1);
+        assert_eq!(b.valid_index().garbage_in(victim), 1);
+        b.submit(SimTime::ZERO, FlashCommand::erase(a0)).unwrap();
+        assert_eq!(b.min_valid_garbage_block(), None);
+        assert_eq!(b.total_valid_pages(), 1);
+        assert_eq!(b.total_valid_pages(), b.recount_valid_pages());
+    }
+
+    #[test]
+    fn submit_batch_matches_per_command_submission() {
+        let mut a = backbone();
+        let mut b = backbone();
+        let cmds: Vec<FlashCommand> = (0..4)
+            .map(|p| FlashCommand::program(PhysicalPageAddr::new(p % 2, 0, 0, p / 2)))
+            .collect();
+        let mut finished = SimTime::ZERO;
+        for &cmd in &cmds {
+            finished = finished.max(a.submit(SimTime::ZERO, cmd).unwrap().finished);
+        }
+        let batch = b.submit_batch(SimTime::ZERO, cmds.iter().copied()).unwrap();
+        assert_eq!(batch.finished, finished);
+        assert_eq!(batch.commands, 4);
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.total_valid_pages(), b.total_valid_pages());
     }
 
     #[test]

@@ -56,6 +56,11 @@ pub struct ChannelController {
     /// completion times are non-decreasing in submission order, which keeps
     /// tag-queue admission O(1) amortized.
     outstanding: VecDeque<SimTime>,
+    /// Valid pages across the channel, maintained incrementally by
+    /// [`ChannelController::execute`], [`ChannelController::invalidate`],
+    /// and [`ChannelController::preload`]. Mutating a die directly through
+    /// [`ChannelController::die_mut`] bypasses this counter.
+    valid_pages: usize,
     stats: ChannelStats,
 }
 
@@ -83,6 +88,7 @@ impl ChannelController {
             page_bytes: geometry.page_bytes,
             inbound_tags,
             outstanding: VecDeque::new(),
+            valid_pages: 0,
             stats: ChannelStats::default(),
         }
     }
@@ -197,12 +203,16 @@ impl ChannelController {
                     .bus
                     .reserve_duration(admitted, timing.page_transfer(page_bytes));
                 let prog = die.program_page(xfer.end, addr.block, addr.page, &timing)?;
+                self.valid_pages += 1;
                 self.stats.programs += 1;
                 self.stats.bytes_transferred += page_bytes as u64;
                 prog.end
             }
             ChannelOp::Erase => {
+                // Capture what the erase reclaims before the die resets it.
+                let reclaimed = die.valid_pages_in(addr.block);
                 let erase = die.erase_block(admitted, addr.block, &timing)?;
+                self.valid_pages -= reclaimed;
                 self.stats.erases += 1;
                 erase.end
             }
@@ -216,16 +226,37 @@ impl ChannelController {
         self.dies
             .get_mut(addr.die)
             .ok_or(FlashError::OutOfRange(addr))?
-            .invalidate_page(addr.block, addr.page)
+            .invalidate_page(addr.block, addr.page)?;
+        self.valid_pages -= 1;
+        Ok(())
     }
 
-    /// Sum of valid pages across the channel (used by capacity accounting).
+    /// Marks a page valid without consuming channel time (pre-experiment
+    /// data placement), keeping the channel's accounting in step.
+    pub fn preload(&mut self, addr: PhysicalPageAddr) -> Result<(), FlashError> {
+        self.dies
+            .get_mut(addr.die)
+            .ok_or(FlashError::OutOfRange(addr))?
+            .preload_page(addr.block, addr.page)?;
+        self.valid_pages += 1;
+        Ok(())
+    }
+
+    /// Valid pages across the channel (used by capacity accounting). O(1):
+    /// maintained incrementally by the execute/invalidate/preload paths.
     pub fn total_valid_pages(&self) -> usize {
+        self.valid_pages
+    }
+
+    /// Brute-force recount of the channel's valid pages from the die page
+    /// states — the property-test oracle for
+    /// [`ChannelController::total_valid_pages`].
+    pub fn recount_valid_pages(&self) -> usize {
         self.dies
             .iter()
             .map(|d| {
                 (0..d.block_count())
-                    .map(|b| d.valid_pages_in(b))
+                    .map(|b| d.recount_valid_pages_in(b))
                     .sum::<usize>()
             })
             .sum()

@@ -32,6 +32,10 @@ struct BlockState {
     /// in-order programming within a block).
     write_cursor: usize,
     erase_count: u64,
+    /// Count of pages currently in [`PageState::Valid`], maintained
+    /// incrementally on every program/preload/invalidate/erase so
+    /// valid-page queries never rescan the page array.
+    valid: u32,
 }
 
 impl BlockState {
@@ -40,10 +44,17 @@ impl BlockState {
             pages: vec![PageState::Free; pages_per_block],
             write_cursor: 0,
             erase_count: 0,
+            valid: 0,
         }
     }
 
     fn valid_pages(&self) -> usize {
+        self.valid as usize
+    }
+
+    /// Brute-force recount of the valid pages, bypassing the incremental
+    /// counter. Kept as the oracle the property tests compare against.
+    fn recount_valid_pages(&self) -> usize {
         self.pages
             .iter()
             .filter(|p| **p == PageState::Valid)
@@ -112,12 +123,28 @@ impl FlashDie {
             .copied()
     }
 
-    /// Number of valid pages in `block`.
+    /// Number of valid pages in `block`. O(1): the count is maintained
+    /// incrementally by the program/preload/invalidate/erase paths.
     pub fn valid_pages_in(&self, block: usize) -> usize {
         self.blocks
             .get(block)
             .map(BlockState::valid_pages)
             .unwrap_or(0)
+    }
+
+    /// Brute-force recount of the valid pages in `block` from the page
+    /// states themselves. This is the property-test oracle for the
+    /// incremental count behind [`FlashDie::valid_pages_in`].
+    pub fn recount_valid_pages_in(&self, block: usize) -> usize {
+        self.blocks
+            .get(block)
+            .map(BlockState::recount_valid_pages)
+            .unwrap_or(0)
+    }
+
+    /// Number of programmed pages in `block` (valid or superseded).
+    pub fn programmed_pages_in(&self, block: usize) -> usize {
+        self.blocks.get(block).map(|b| b.write_cursor).unwrap_or(0)
     }
 
     /// Number of still-programmable pages in `block`.
@@ -207,6 +234,7 @@ impl FlashDie {
         }
         blk.pages[page] = PageState::Valid;
         blk.write_cursor += 1;
+        blk.valid += 1;
         let res = self.server.serve(now, timing.program_page);
         self.stats.programs += 1;
         Ok(res)
@@ -235,6 +263,7 @@ impl FlashDie {
         }
         blk.pages[page] = PageState::Valid;
         blk.write_cursor += 1;
+        blk.valid += 1;
         Ok(())
     }
 
@@ -249,6 +278,7 @@ impl FlashDie {
             ));
         }
         blk.pages[page] = PageState::Invalid;
+        blk.valid -= 1;
         Ok(())
     }
 
@@ -272,6 +302,7 @@ impl FlashDie {
             *p = PageState::Free;
         }
         blk.write_cursor = 0;
+        blk.valid = 0;
         let res = self.server.serve(now, timing.erase_block);
         self.stats.erases += 1;
         Ok(res)
@@ -368,6 +399,24 @@ mod tests {
         // Programs to the worn block are also refused.
         let err = d.program_page(SimTime::ZERO, 0, 0, &t).unwrap_err();
         assert!(matches!(err, FlashError::WornOut { .. }));
+    }
+
+    #[test]
+    fn incremental_valid_count_matches_recount() {
+        let (mut d, t) = die();
+        for p in 0..6 {
+            d.program_page(SimTime::ZERO, 0, p, &t).unwrap();
+        }
+        d.invalidate_page(0, 1).unwrap();
+        d.invalidate_page(0, 4).unwrap();
+        d.preload_page(0, 6).unwrap();
+        assert_eq!(d.valid_pages_in(0), d.recount_valid_pages_in(0));
+        assert_eq!(d.valid_pages_in(0), 5);
+        assert_eq!(d.programmed_pages_in(0), 7);
+        d.erase_block(SimTime::ZERO, 0, &t).unwrap();
+        assert_eq!(d.valid_pages_in(0), d.recount_valid_pages_in(0));
+        assert_eq!(d.valid_pages_in(0), 0);
+        assert_eq!(d.programmed_pages_in(0), 0);
     }
 
     #[test]

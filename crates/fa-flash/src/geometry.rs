@@ -139,6 +139,36 @@ impl FlashGeometry {
         }
     }
 
+    /// Flat index of the erase block holding `addr`, in
+    /// `0..total_blocks()`: channels outermost, then dies, then blocks.
+    /// This is the block numbering the GC round-robin cursor and the
+    /// valid-page index share.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the backbone.
+    pub fn block_index(&self, addr: PhysicalPageAddr) -> u64 {
+        assert!(self.contains(addr), "address out of range: {addr:?}");
+        (addr.channel as u64 * self.dies_per_channel() as u64 + addr.die as u64)
+            * self.blocks_per_die() as u64
+            + addr.block as u64
+    }
+
+    /// Inverse of [`FlashGeometry::block_index`]: `(channel, die, block)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is outside `0..total_blocks()`.
+    pub fn block_index_to_addr(&self, index: u64) -> (usize, usize, usize) {
+        assert!(index < self.total_blocks(), "block index out of range");
+        let blocks_per_die = self.blocks_per_die() as u64;
+        let dies_per_channel = self.dies_per_channel() as u64;
+        let channel = index / (blocks_per_die * dies_per_channel);
+        let die = (index / blocks_per_die) % dies_per_channel;
+        let block = index % blocks_per_die;
+        (channel as usize, die as usize, block as usize)
+    }
+
     /// Inverse of [`FlashGeometry::flat_to_addr`].
     ///
     /// # Panics
@@ -227,6 +257,15 @@ mod tests {
     }
 
     proptest! {
+        #[test]
+        fn block_index_round_trips(index in 0u64..FlashGeometry::paper_prototype().total_blocks()) {
+            let g = FlashGeometry::paper_prototype();
+            let (channel, die, block) = g.block_index_to_addr(index);
+            let addr = PhysicalPageAddr::new(channel, die, block, 0);
+            prop_assert!(g.contains(addr));
+            prop_assert_eq!(g.block_index(addr), index);
+        }
+
         #[test]
         fn flat_addr_round_trips(flat in 0u64..FlashGeometry::paper_prototype().total_pages()) {
             let g = FlashGeometry::paper_prototype();

@@ -16,6 +16,8 @@
 //!   queues and the shared NV-DDR2 channel bus.
 //! * [`backbone`] — the whole storage complex with the SRIO front-end; this
 //!   is the unit Flashvisor and Storengine talk to.
+//! * [`validindex`] — incremental backbone-wide valid-page accounting,
+//!   bucketed by valid count, driving O(1)–O(log n) GC victim selection.
 //! * [`spec`] — the Table 1 default configuration.
 //!
 //! The model tracks *page state*, not page contents: what matters for the
@@ -29,11 +31,15 @@ pub mod error;
 pub mod geometry;
 pub mod spec;
 pub mod timing;
+pub mod validindex;
 
-pub use backbone::{BackboneStats, FlashBackbone, FlashCommand, FlashCompletion, FlashOp};
+pub use backbone::{
+    BackboneStats, BatchCompletion, FlashBackbone, FlashCommand, FlashCompletion, FlashOp,
+};
 pub use controller::ChannelController;
 pub use die::{DieStats, FlashDie, PageState};
 pub use error::FlashError;
 pub use geometry::{FlashGeometry, PhysicalPageAddr};
 pub use spec::backbone_spec_table1;
 pub use timing::FlashTiming;
+pub use validindex::ValidPageIndex;

@@ -1,0 +1,215 @@
+//! Incremental valid-page index over the whole backbone.
+//!
+//! Storengine's victim selection needs two questions answered on every GC
+//! pass: "how many valid pages does block *b* hold?" and "which block has
+//! garbage to reclaim at the lowest migration cost?". Recounting page
+//! states across the backbone makes both O(total pages); this index keeps
+//! the answers current as the backbone executes commands, so both are
+//! O(1)–O(log n).
+//!
+//! The structure is a per-block valid/programmed counter pair plus *garbage
+//! buckets*: every block holding at least one superseded (invalid) page
+//! sits in the bucket keyed by its current valid count. The greedy victim
+//! policy pops the lowest-keyed non-empty bucket — the block that frees
+//! space for the fewest migrated pages. `BTreeSet` buckets make the pick
+//! deterministic (smallest block index wins ties), which the campaign
+//! determinism contract relies on.
+//!
+//! The index is maintained by [`crate::backbone::FlashBackbone`] for every
+//! command routed through it. Mutating a die directly (tests using
+//! `die_mut`) bypasses the hooks; the property-test oracle recounts from
+//! page states to catch any such drift in paths that matter.
+
+use std::collections::BTreeSet;
+
+/// Backbone-wide incremental valid-page accounting.
+#[derive(Debug, Clone)]
+pub struct ValidPageIndex {
+    pages_per_block: u32,
+    /// Valid pages per block, indexed by [`crate::FlashGeometry::block_index`].
+    valid: Vec<u32>,
+    /// Programmed pages (valid or superseded) per block.
+    programmed: Vec<u32>,
+    /// `buckets[v]` holds the blocks with `v` valid pages *and* at least
+    /// one invalid page (i.e. something to reclaim).
+    buckets: Vec<BTreeSet<u32>>,
+    /// Valid counts whose bucket is non-empty, for O(log n) minimum lookup.
+    occupied: BTreeSet<u32>,
+    total_valid: u64,
+}
+
+impl ValidPageIndex {
+    /// Creates an all-erased index for `total_blocks` blocks of
+    /// `pages_per_block` pages each.
+    pub fn new(total_blocks: usize, pages_per_block: usize) -> Self {
+        ValidPageIndex {
+            pages_per_block: pages_per_block as u32,
+            valid: vec![0; total_blocks],
+            programmed: vec![0; total_blocks],
+            buckets: vec![BTreeSet::new(); pages_per_block + 1],
+            occupied: BTreeSet::new(),
+            total_valid: 0,
+        }
+    }
+
+    fn garbage(&self, block: usize) -> u32 {
+        self.programmed[block] - self.valid[block]
+    }
+
+    fn bucket_remove(&mut self, level: u32, block: u32) {
+        let bucket = &mut self.buckets[level as usize];
+        bucket.remove(&block);
+        if bucket.is_empty() {
+            self.occupied.remove(&level);
+        }
+    }
+
+    fn bucket_insert(&mut self, level: u32, block: u32) {
+        if self.buckets[level as usize].insert(block) {
+            self.occupied.insert(level);
+        }
+    }
+
+    /// Records one page program (or preload) landing in `block`.
+    pub fn on_program(&mut self, block: u64) {
+        let b = block as usize;
+        let had_garbage = self.garbage(b) > 0;
+        if had_garbage {
+            self.bucket_remove(self.valid[b], block as u32);
+        }
+        self.programmed[b] += 1;
+        self.valid[b] += 1;
+        self.total_valid += 1;
+        if had_garbage {
+            self.bucket_insert(self.valid[b], block as u32);
+        }
+    }
+
+    /// Records one page of `block` being superseded.
+    pub fn on_invalidate(&mut self, block: u64) {
+        let b = block as usize;
+        if self.garbage(b) > 0 {
+            self.bucket_remove(self.valid[b], block as u32);
+        }
+        self.valid[b] -= 1;
+        self.total_valid -= 1;
+        self.bucket_insert(self.valid[b], block as u32);
+    }
+
+    /// Records `block` being erased.
+    pub fn on_erase(&mut self, block: u64) {
+        let b = block as usize;
+        if self.garbage(b) > 0 {
+            self.bucket_remove(self.valid[b], block as u32);
+        }
+        self.total_valid -= self.valid[b] as u64;
+        self.valid[b] = 0;
+        self.programmed[b] = 0;
+    }
+
+    /// Valid pages currently held by `block`.
+    pub fn valid_in(&self, block: u64) -> u32 {
+        self.valid[block as usize]
+    }
+
+    /// Programmed (valid or superseded) pages currently held by `block`.
+    pub fn programmed_in(&self, block: u64) -> u32 {
+        self.programmed[block as usize]
+    }
+
+    /// Superseded pages reclaimable by erasing `block`.
+    pub fn garbage_in(&self, block: u64) -> u32 {
+        self.garbage(block as usize)
+    }
+
+    /// Valid pages across the whole backbone.
+    pub fn total_valid(&self) -> u64 {
+        self.total_valid
+    }
+
+    /// The reclaimable block with the fewest valid pages (cheapest
+    /// migration), smallest block index on ties; `None` when no block holds
+    /// garbage. O(log n).
+    pub fn min_valid_garbage_block(&self) -> Option<u64> {
+        let level = *self.occupied.first()?;
+        self.buckets[level as usize]
+            .first()
+            .map(|&block| block as u64)
+    }
+
+    /// Pages per block the index was built for.
+    pub fn pages_per_block(&self) -> u32 {
+        self.pages_per_block
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_track_garbage_blocks_only() {
+        let mut idx = ValidPageIndex::new(4, 8);
+        // Fully valid blocks never appear as victims.
+        for _ in 0..8 {
+            idx.on_program(0);
+        }
+        assert_eq!(idx.valid_in(0), 8);
+        assert_eq!(idx.min_valid_garbage_block(), None);
+        // Invalidation makes block 0 reclaimable at valid level 7.
+        idx.on_invalidate(0);
+        assert_eq!(idx.min_valid_garbage_block(), Some(0));
+        assert_eq!(idx.garbage_in(0), 1);
+        assert_eq!(idx.total_valid(), 7);
+    }
+
+    #[test]
+    fn greedy_pick_prefers_fewest_valid_then_smallest_index() {
+        let mut idx = ValidPageIndex::new(4, 8);
+        for block in [1u64, 2, 3] {
+            for _ in 0..4 {
+                idx.on_program(block);
+            }
+        }
+        idx.on_invalidate(1); // 3 valid, 1 garbage
+        idx.on_invalidate(3); // 3 valid, 1 garbage
+        idx.on_invalidate(3);
+        idx.on_invalidate(3); // 1 valid, 3 garbage
+        idx.on_invalidate(2); // 3 valid, 1 garbage
+        assert_eq!(idx.min_valid_garbage_block(), Some(3));
+        idx.on_erase(3);
+        assert_eq!(idx.valid_in(3), 0);
+        assert_eq!(idx.programmed_in(3), 0);
+        // Blocks 1 and 2 tie at 3 valid pages; the smaller index wins.
+        assert_eq!(idx.min_valid_garbage_block(), Some(1));
+        assert_eq!(idx.total_valid(), 3 + 3 + 1 - 1);
+    }
+
+    #[test]
+    fn erase_clears_membership_and_totals() {
+        let mut idx = ValidPageIndex::new(2, 4);
+        for _ in 0..4 {
+            idx.on_program(1);
+        }
+        idx.on_invalidate(1);
+        idx.on_erase(1);
+        assert_eq!(idx.min_valid_garbage_block(), None);
+        assert_eq!(idx.total_valid(), 0);
+        // The block is reusable from scratch.
+        idx.on_program(1);
+        assert_eq!(idx.valid_in(1), 1);
+    }
+
+    #[test]
+    fn reprogramming_a_garbage_block_moves_its_bucket() {
+        let mut idx = ValidPageIndex::new(2, 8);
+        for _ in 0..3 {
+            idx.on_program(0);
+        }
+        idx.on_invalidate(0); // 2 valid, 1 garbage
+        idx.on_program(0); // 3 valid, 1 garbage — bucket must move 2 → 3
+        assert_eq!(idx.valid_in(0), 3);
+        assert_eq!(idx.garbage_in(0), 1);
+        assert_eq!(idx.min_valid_garbage_block(), Some(0));
+    }
+}

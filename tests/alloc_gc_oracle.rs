@@ -1,0 +1,225 @@
+//! Property test: the incremental free-space and valid-page accounting
+//! always equals brute-force recounts from the backbone, under arbitrary
+//! write / overwrite / journal / GC interleavings, for every placement and
+//! GC-victim policy combination.
+//!
+//! The oracle recomputes everything from primary state — the mapping
+//! table, die page states — so a divergence pinpoints a bug in the
+//! incremental bookkeeping (free list, reverse index, valid-page buckets,
+//! occupancy gauges) rather than in the oracle. Failed operations (flash
+//! exhaustion, NAND programming-rule violations on recycled-but-unerased
+//! groups) are tolerated: the invariants must hold *especially* after an
+//! op is rejected partway through.
+//!
+//! Case count defaults to 256 and can be raised via `FA_ORACLE_CASES`
+//! (CI runs the release suite with more).
+
+use flashabacus_suite::fa_flash::{FlashGeometry, FlashTiming, PageState};
+use flashabacus_suite::fa_platform::mem::Scratchpad;
+use flashabacus_suite::fa_platform::PlatformSpec;
+use flashabacus_suite::fa_sim::time::{SimDuration, SimTime};
+use flashabacus_suite::flashabacus::config::FlashAbacusConfig;
+use flashabacus_suite::flashabacus::freespace::PlacementPolicy;
+use flashabacus_suite::flashabacus::scheduler::SchedulerPolicy;
+use flashabacus_suite::flashabacus::storengine::{GcVictimPolicy, Storengine};
+use flashabacus_suite::flashabacus::Flashvisor;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// A deliberately small device (2 channels × 8 blocks × 16 pages, 2-page
+/// groups → 128 groups) so overwrites, GC, and exhaustion all happen
+/// within a short random walk.
+fn oracle_config(placement: PlacementPolicy, gc_victim: GcVictimPolicy) -> FlashAbacusConfig {
+    let mut config = FlashAbacusConfig::tiny_for_tests(SchedulerPolicy::IntraO3);
+    config.flash_geometry = FlashGeometry {
+        channels: 2,
+        packages_per_channel: 1,
+        dies_per_package: 1,
+        planes_per_die: 1,
+        blocks_per_plane: 8,
+        pages_per_block: 16,
+        page_bytes: 4096,
+    };
+    config.flash_timing = FlashTiming::fast_for_tests();
+    config.page_group_bytes = 8 * 1024;
+    config.endurance_cycles = 100_000;
+    config.journal_interval = SimDuration::from_ms(1);
+    config.placement = placement;
+    config.gc_victim = gc_victim;
+    config
+}
+
+/// Checks every incremental structure against a from-scratch recount.
+fn check_invariants(v: &Flashvisor) -> Result<(), String> {
+    let config = *v.config();
+    let geometry = config.flash_geometry;
+    let total_groups = config.total_page_groups();
+
+    // 1. Mapping injectivity: two logical groups never share a physical
+    //    group, and every physical group is in range.
+    let mut mapped: BTreeSet<u64> = BTreeSet::new();
+    for (lg, pg) in v.mapped_groups() {
+        prop_assert!(pg < total_groups, "pg {pg} out of range (lg {lg})");
+        prop_assert!(mapped.insert(pg), "physical group {pg} mapped twice");
+    }
+
+    // 2. Reverse-index consistency: forward and reverse agree exactly.
+    for (lg, pg) in v.mapped_groups() {
+        prop_assert_eq!(v.logical_group_mapped_to(pg), Some(lg));
+    }
+    for pg in 0..total_groups {
+        if !mapped.contains(&pg) {
+            prop_assert_eq!(v.logical_group_mapped_to(pg), None);
+        }
+    }
+
+    // 3. Free-pool soundness: the free set is duplicate-free, sized like
+    //    the O(1) counter says, and disjoint from every mapped group.
+    let free = v.freespace().debug_free_groups();
+    prop_assert_eq!(free.len() as u64, v.free_physical_groups());
+    let free_set: BTreeSet<u64> = free.iter().copied().collect();
+    prop_assert_eq!(free_set.len(), free.len());
+    prop_assert!(
+        free_set.is_disjoint(&mapped),
+        "free pool intersects mapped groups"
+    );
+
+    // 4. Valid-page index vs brute-force recount from die page states, at
+    //    every layer: per block, per channel, and backbone-wide.
+    let index = v.backbone().valid_index();
+    for b in 0..geometry.total_blocks() {
+        let (ch, die, block) = geometry.block_index_to_addr(b);
+        let die_ref = v.backbone().channel(ch).unwrap().die(die).unwrap();
+        let recount = die_ref.recount_valid_pages_in(block);
+        prop_assert_eq!(index.valid_in(b) as usize, recount);
+        prop_assert_eq!(die_ref.valid_pages_in(block), recount);
+    }
+    for ch in 0..geometry.channels {
+        let c = v.backbone().channel(ch).unwrap();
+        prop_assert_eq!(c.total_valid_pages(), c.recount_valid_pages());
+    }
+    prop_assert_eq!(
+        v.backbone().total_valid_pages(),
+        v.backbone().recount_valid_pages()
+    );
+
+    // 5. Greedy victim pick matches the brute-force argmin over blocks
+    //    with at least one invalid page: fewest valid, smallest index.
+    let mut expected: Option<(u32, u64)> = None;
+    for b in 0..geometry.total_blocks() {
+        let (ch, die, block) = geometry.block_index_to_addr(b);
+        let die_ref = v.backbone().channel(ch).unwrap().die(die).unwrap();
+        let mut valid = 0u32;
+        let mut invalid = 0u32;
+        for p in 0..geometry.pages_per_block {
+            match die_ref.page_state(block, p) {
+                Some(PageState::Valid) => valid += 1,
+                Some(PageState::Invalid) => invalid += 1,
+                _ => {}
+            }
+        }
+        if invalid > 0 && expected.map_or(true, |(ev, _)| valid < ev) {
+            expected = Some((valid, b));
+        }
+    }
+    prop_assert_eq!(
+        v.backbone().min_valid_garbage_block(),
+        expected.map(|(_, b)| b)
+    );
+
+    // 6. Occupancy gauges: allocated = total − free, classified exactly
+    //    like the free pool's complement.
+    let occupancy = v.placement_occupancy();
+    let occupied: u64 = occupancy.iter().sum();
+    prop_assert_eq!(occupied + v.free_physical_groups(), total_groups);
+    let mut per_class = vec![0u64; v.freespace().class_count()];
+    for g in 0..total_groups {
+        if !free_set.contains(&g) {
+            per_class[v.freespace().stripe_class(g)] += 1;
+        }
+    }
+    prop_assert_eq!(occupancy, per_class.as_slice());
+    Ok(())
+}
+
+/// Deterministic splitmix64 step driving the random walk from a seed.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn oracle_cases() -> u32 {
+    std::env::var("FA_ORACLE_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|v| *v > 0)
+        .unwrap_or(256)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(oracle_cases()))]
+
+    /// Random write/overwrite/journal/GC interleavings never desynchronize
+    /// the incremental metadata from the brute-force recounts.
+    #[test]
+    fn incremental_metadata_always_equals_brute_force_recounts(
+        striped in prop::bool::ANY,
+        greedy in prop::bool::ANY,
+        steps in 24usize..56,
+        seed in 0u64..u64::MAX,
+    ) {
+        let placement = if striped {
+            PlacementPolicy::ChannelStriped
+        } else {
+            PlacementPolicy::FirstFree
+        };
+        let gc_victim = if greedy {
+            GcVictimPolicy::GreedyMinValid
+        } else {
+            GcVictimPolicy::RoundRobin
+        };
+        let config = oracle_config(placement, gc_victim);
+        let mut v = Flashvisor::new(config);
+        let mut s = Storengine::new(config);
+        let mut sp = Scratchpad::new(&PlatformSpec::paper_prototype());
+        let mut rng = seed;
+        let mut t_us = 1u64;
+        let mut successes = 0usize;
+
+        check_invariants(&v)?;
+        for _ in 0..steps {
+            t_us += 37;
+            let now = SimTime::from_us(t_us);
+            let group_bytes = config.page_group_bytes;
+            match splitmix64(&mut rng) % 8 {
+                // Writes dominate: confined to a 24-group logical window so
+                // overwrites (and therefore garbage) are common.
+                0..=4 => {
+                    let lg = splitmix64(&mut rng) % 24;
+                    let groups = 1 + splitmix64(&mut rng) % 4;
+                    if v.write_section(now, lg * group_bytes, groups * group_bytes, &mut sp).is_ok() {
+                        successes += 1;
+                    }
+                }
+                // Occasional journaling (programs metadata pages).
+                5 => {
+                    let _ = s.journal(now, &mut v);
+                }
+                // GC passes, sometimes several back to back.
+                _ => {
+                    let passes = 1 + splitmix64(&mut rng) % 3;
+                    for _ in 0..passes {
+                        let _ = s.collect_garbage(now, &mut v);
+                    }
+                }
+            }
+            check_invariants(&v)?;
+        }
+        // The walk starts on an empty device, so the early writes always
+        // land: a silent all-failure walk would test nothing.
+        prop_assert!(successes > 0, "no operation ever succeeded");
+    }
+}

@@ -197,8 +197,18 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Case count: 16 by default (each case drives a full random walk), raised
+/// via `FA_ORACLE_CASES` by the CI release-oracle job.
+fn oracle_cases() -> u32 {
+    std::env::var("FA_ORACLE_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|v| *v > 0)
+        .unwrap_or(16)
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+    #![proptest_config(ProptestConfig::with_cases(oracle_cases()))]
 
     /// Random dispatch/retire interleavings never desynchronize the
     /// frontier from the full-rescan oracle.

@@ -1,0 +1,108 @@
+//! End-to-end results-invariance guard for the data path.
+//!
+//! The free-space / GC subsystem is a pure data-structure speedup: under the
+//! default `FirstFree` placement policy the simulated physics — allocation
+//! order, page addresses, command timing — must be exactly what the
+//! scan-era code produced. This test pins a small campaign's rendered
+//! report, byte for byte, against a golden file generated before the
+//! refactor, and additionally checks that the rendering is identical when
+//! the campaign is fanned across worker threads.
+//!
+//! Regenerate the golden file (only when an *intentional* physics change
+//! lands) with:
+//! ```text
+//! FA_BLESS_GOLDEN=1 cargo test --test results_golden
+//! ```
+
+use fa_bench::report::Table;
+use fa_bench::runner::{
+    homogeneous_workload, run_pairs_with_threads, ExperimentScale, UnifiedOutcome,
+};
+use fa_kernel::model::Application;
+use fa_workloads::polybench::PolyBench;
+use std::path::PathBuf;
+
+/// The pinned campaign: two homogeneous PolyBench workloads, every system,
+/// at a fixed explicit scale (never read from the environment, so the test
+/// result does not depend on `FA_DATA_SCALE`).
+fn workloads() -> Vec<(String, Vec<Application>)> {
+    let scale = ExperimentScale { data_scale: 512 };
+    vec![
+        (
+            "GEMM".to_string(),
+            homogeneous_workload(PolyBench::Gemm, scale),
+        ),
+        (
+            "ATAX".to_string(),
+            homogeneous_workload(PolyBench::Atax, scale),
+        ),
+    ]
+}
+
+/// Renders the campaign with enough digits that any drift in simulated
+/// physics — an allocation handed out in a different order, a page landing
+/// on a different die, a GC pass running at a different instant — shows up
+/// as a byte difference.
+fn render(outcomes: &[UnifiedOutcome]) -> String {
+    let mut table = Table::new(
+        "Golden campaign: homogeneous GEMM + ATAX at 1/512 scale",
+        &[
+            "Workload",
+            "System",
+            "total_s",
+            "throughput_mb_s",
+            "energy_j",
+            "latency_avg_s",
+            "completions",
+        ],
+    );
+    for out in outcomes {
+        table.row(vec![
+            out.workload.clone(),
+            out.system.label().to_string(),
+            format!("{:.9}", out.total_seconds),
+            format!("{:.6}", out.throughput_mb_s),
+            format!("{:.6}", out.total_energy_j()),
+            format!("{:.9}", out.latency_min_avg_max.1),
+            format!("{}", out.completion_times.len()),
+        ]);
+    }
+    table.render()
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("small_campaign.txt")
+}
+
+#[test]
+fn default_policy_report_is_byte_identical_to_golden() {
+    let rendered = render(&run_pairs_with_threads(&workloads(), 1));
+    let path = golden_path();
+    if std::env::var("FA_BLESS_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); bless it first",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered, golden,
+        "campaign report drifted from the golden bytes — the default \
+         FirstFree data path is no longer reproducing the recorded physics"
+    );
+}
+
+#[test]
+fn report_is_deterministic_across_thread_counts() {
+    let w = workloads();
+    let serial = render(&run_pairs_with_threads(&w, 1));
+    let parallel = render(&run_pairs_with_threads(&w, 4));
+    assert_eq!(serial, parallel, "FA_THREADS=1 vs 4 rendering diverged");
+}
