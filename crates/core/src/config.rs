@@ -4,10 +4,43 @@ use crate::freespace::PlacementPolicy;
 use crate::scheduler::SchedulerPolicy;
 use crate::storengine::GcVictimPolicy;
 use fa_energy::PowerSpec;
-use fa_flash::{FlashGeometry, FlashTiming};
+use fa_flash::{FlashGeometry, FlashTiming, QosBudgets};
 use fa_platform::PlatformSpec;
 use fa_sim::time::SimDuration;
 use serde::{Deserialize, Serialize};
+
+/// Quality-of-service knobs on the flash data path.
+///
+/// The defaults reproduce the pre-QoS device byte for byte: storage
+/// management executes synchronously at the flush instant and every owner
+/// enjoys unlimited tag-queue admission. Turning `background_gc` on models
+/// Storengine passes as deferred background events that contend with
+/// foreground traffic for the channels; the budgets then bound how many
+/// tags any one owner (a kernel, or the GC/journal streams) may hold per
+/// channel controller.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QosConfig {
+    /// Outstanding-command budget per foreground owner (kernel) at each
+    /// channel's tag queue; `None` = unlimited (the default).
+    pub per_owner_tag_budget: Option<usize>,
+    /// Outstanding-command budget for each background stream (GC,
+    /// journaling) at each channel's tag queue; `None` = unlimited.
+    pub gc_budget: Option<usize>,
+    /// Model Storengine GC passes as background events interleaved with
+    /// foreground screens instead of running synchronously at the flush
+    /// instant.
+    pub background_gc: bool,
+}
+
+impl QosConfig {
+    /// The per-owner budgets in the form the flash backbone consumes.
+    pub fn budgets(&self) -> QosBudgets {
+        QosBudgets {
+            per_owner: self.per_owner_tag_budget,
+            background: self.gc_budget,
+        }
+    }
+}
 
 /// Full configuration of a simulated FlashAbacus accelerator.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -56,6 +89,9 @@ pub struct FlashAbacusConfig {
     /// (true in the prototype, §2.2) or must reach flash before a kernel is
     /// reported complete.
     pub buffered_writes: bool,
+    /// Background-GC and per-owner QoS knobs (defaults are off/unlimited,
+    /// reproducing the synchronous device exactly).
+    pub qos: QosConfig,
 }
 
 impl FlashAbacusConfig {
@@ -78,6 +114,7 @@ impl FlashAbacusConfig {
             gc_low_watermark: 0.10,
             journal_interval: SimDuration::from_ms(100),
             buffered_writes: true,
+            qos: QosConfig::default(),
         }
     }
 
@@ -111,6 +148,7 @@ impl FlashAbacusConfig {
             gc_low_watermark: 0.20,
             journal_interval: SimDuration::from_ms(1),
             buffered_writes: true,
+            qos: QosConfig::default(),
         }
     }
 
@@ -130,15 +168,13 @@ impl FlashAbacusConfig {
         self.total_page_groups() * 4
     }
 
-    /// The `[low, high)` slice of the page-group space one *round-robin*
-    /// GC pass scans for victim block `victim_index`: block-sized slices
-    /// of the group space, visited in block order. Page groups stripe
-    /// across channels, so the slice is approximate for geometries whose
-    /// groups span blocks (a full round-robin sweep still covers every
-    /// group exactly once); the tests pin the exact behaviour for the
-    /// prototype layout. One definition, shared by Storengine and the
-    /// perf harness, so the recorded `BENCH_PR*.json` discovery timings
-    /// measure exactly what production scans.
+    /// The `[low, high)` slice of the page-group space the *seed era's*
+    /// round-robin GC pass scanned for victim block `victim_index`:
+    /// block-sized slices of the group space, visited in block order.
+    /// Production GC is row-coherent now (both policies migrate
+    /// [`FlashAbacusConfig::block_row_group_range`]); this definition
+    /// remains as the perf harness's discovery baseline so the recorded
+    /// `BENCH_PR*.json` timings keep comparing the same work.
     pub fn gc_scan_group_range(&self, victim_index: u64) -> (u64, u64) {
         let pages_per_block = self.flash_geometry.pages_per_block as u64;
         let pages_per_group = self.pages_per_group();

@@ -12,7 +12,7 @@ use crate::config::FlashAbacusConfig;
 use crate::error::FaError;
 use crate::freespace::{FreeSpaceManager, PlacementPolicy};
 use crate::rangelock::{LockId, LockMode, RangeLockTable};
-use fa_flash::{FlashBackbone, FlashCommand, FlashError};
+use fa_flash::{FlashBackbone, FlashCommand, FlashError, OwnerId};
 use fa_platform::mem::Scratchpad;
 use fa_sim::resource::FifoServer;
 use fa_sim::time::{SimDuration, SimTime};
@@ -81,13 +81,17 @@ pub struct Flashvisor {
 impl Flashvisor {
     /// Creates a Flashvisor owning a freshly built backbone.
     pub fn new(config: FlashAbacusConfig) -> Self {
-        let backbone = FlashBackbone::new(
+        let mut backbone = FlashBackbone::new(
             config.flash_geometry,
             config.flash_timing,
             config.srio_bytes_per_sec,
             config.channel_tag_queue,
             config.endurance_cycles,
         );
+        // Group-level accounting (complete reclamation of erased groups)
+        // and the per-owner tag budgets both live in the backbone.
+        backbone.enable_group_tracking(config.pages_per_group());
+        backbone.set_qos_budgets(config.qos.budgets());
         let total_groups = config.total_page_groups();
         let freespace = FreeSpaceManager::new(
             total_groups,
@@ -234,6 +238,34 @@ impl Flashvisor {
         &self.locks
     }
 
+    /// The owner identity a transfer over `[start, start+len)` carries to
+    /// the backbone: the range-lock owner when a kernel has the section
+    /// mapped (the cross-layer metadata the QoS budgets key on), otherwise
+    /// [`OwnerId::Unattributed`].
+    fn transfer_owner(&self, start: u64, len: u64) -> OwnerId {
+        match self.locks.owner_covering(start, start + len.max(1)) {
+            Some(owner) => OwnerId::Kernel(owner),
+            None => OwnerId::Unattributed,
+        }
+    }
+
+    /// Returns erased-and-unmapped page groups to the allocator: drains
+    /// the backbone's fully-erased group list (maintained by group
+    /// tracking on every block erase) and recycles each group that no
+    /// mapping references — the group-reclaim completeness fix, covering
+    /// overwritten garbage groups no migration ever recycled. Groups still
+    /// mapped are left alone. Returns how many groups were newly freed.
+    pub fn reclaim_fully_erased(&mut self) -> u64 {
+        let mut reclaimed = 0;
+        for pg in self.backbone.take_fully_erased_groups() {
+            if self.logical_group_mapped_to(pg).is_none() && !self.freespace.is_free(pg) {
+                self.freespace.recycle(pg);
+                reclaimed += 1;
+            }
+        }
+        reclaimed
+    }
+
     fn allocate_physical_group(&mut self) -> Result<u64, FaError> {
         self.freespace.allocate().ok_or(FaError::OutOfFlashSpace {
             requested: 1,
@@ -296,6 +328,7 @@ impl Flashvisor {
         }
         let geometry = self.config.flash_geometry;
         let pages = self.config.pages_per_group();
+        let owner = self.transfer_owner(start, len);
         let (first, last) = self.groups_covering(start, len);
         let mut finished = now;
         let mut cursor = now;
@@ -312,6 +345,7 @@ impl Flashvisor {
             let batch = self.backbone.submit_batch(
                 cursor,
                 (0..pages).map(|i| FlashCommand::read(geometry.flat_to_addr(pg * pages + i))),
+                owner,
             )?;
             finished = finished.max(batch.finished);
             self.stats.group_reads += 1;
@@ -342,6 +376,7 @@ impl Flashvisor {
         }
         let geometry = self.config.flash_geometry;
         let pages = self.config.pages_per_group();
+        let owner = self.transfer_owner(start, len);
         let (first, last) = self.groups_covering(start, len);
         let mut finished = now;
         let mut cursor = now;
@@ -367,17 +402,24 @@ impl Flashvisor {
                 self.stats.overwritten_groups += 1;
             }
             let pg = self.allocate_physical_group()?;
-            let batch = self.backbone.submit_batch(
+            let batch = match self.backbone.submit_batch(
                 cursor,
                 (0..pages).map(|i| FlashCommand::program(geometry.flat_to_addr(pg * pages + i))),
-            )?;
+                owner,
+            ) {
+                Ok(batch) => batch,
+                Err(e) => {
+                    self.rollback_failed_allocation(pg);
+                    return Err(e.into());
+                }
+            };
             finished = finished.max(batch.finished);
             // Commit the remap and both index directions together, only
             // once the programs succeeded: a failure above must leave the
             // old mapping (and its reverse entry) intact so GC can still
             // find the group.
             if let Some(old) = old {
-                self.reverse[old as usize] = None;
+                self.release_unmapped_group(old);
             }
             self.mapping[lg as usize] = Some(pg);
             self.reverse[pg as usize] = Some(lg);
@@ -404,14 +446,41 @@ impl Flashvisor {
         self.dirty_mapping_entries += 1;
         let old = slot.replace(new_physical);
         if let Some(old) = old {
-            if let Some(r) = self.reverse.get_mut(old as usize) {
-                *r = None;
-            }
+            self.release_unmapped_group(old);
         }
         if let Some(r) = self.reverse.get_mut(new_physical as usize) {
             *r = Some(logical_group);
         }
         old
+    }
+
+    /// Commits the unmapping of physical group `old`: clears its reverse
+    /// entry and, when no programmed page of the group remains on the
+    /// device, returns it to the allocator at once. The immediate recycle
+    /// closes a leak window: a destructive metadata-block erase (the
+    /// journal recycling its reserved block under live data) can clear a
+    /// *mapped* group's last page — the fully-erased drain must skip it
+    /// while mapped, and no future erase will ever report the group again,
+    /// so unmapping is the last chance to reclaim it.
+    fn release_unmapped_group(&mut self, old: u64) {
+        if let Some(r) = self.reverse.get_mut(old as usize) {
+            *r = None;
+        }
+        if self.backbone.valid_index().group_programmed_pages(old) == 0 {
+            self.freespace.recycle(old);
+        }
+    }
+
+    /// Returns a just-allocated group to the pool after its programs
+    /// failed before any page landed: an unmapped group with no programmed
+    /// page is invisible to every erase-driven reclaim path (no erase will
+    /// ever report it), so dropping it here would leak it permanently.
+    /// Partial failures keep the group allocated — the row erase that
+    /// clears its landed pages reclaims it later.
+    pub(crate) fn rollback_failed_allocation(&mut self, pg: u64) {
+        if self.backbone.valid_index().group_programmed_pages(pg) == 0 {
+            self.freespace.recycle(pg);
+        }
     }
 
     /// The logical group currently mapped to physical group `pg`, filtered

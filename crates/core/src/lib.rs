@@ -64,12 +64,12 @@ pub mod scheduler;
 pub mod storengine;
 pub mod system;
 
-pub use config::FlashAbacusConfig;
+pub use config::{FlashAbacusConfig, QosConfig};
 pub use error::FaError;
 pub use flashvisor::Flashvisor;
 pub use freespace::{FreeSpaceManager, PlacementPolicy};
-pub use metrics::{EnergySummary, KernelLatency, RunOutcome};
+pub use metrics::{EnergySummary, KernelLatency, OwnerFlashStats, RunOutcome};
 pub use rangelock::{LockMode, RangeLockTable};
 pub use scheduler::SchedulerPolicy;
-pub use storengine::{GcVictimPolicy, Storengine};
+pub use storengine::{GcPlan, GcVictimPolicy, Storengine};
 pub use system::FlashAbacusSystem;

@@ -34,6 +34,33 @@ impl KernelLatency {
     }
 }
 
+/// Per-owner flash data-path statistics of a run: who issued how much
+/// traffic, and what read tail latency each owner saw. One row per owner
+/// that touched the backbone, ordered kernels first, then the GC and
+/// journal streams (the QoS figures key on this).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OwnerFlashStats {
+    /// Owner label (`kernel<N>`, `gc`, `journal`, `unattributed`).
+    pub owner: String,
+    /// Pages read.
+    pub reads: u64,
+    /// Pages programmed.
+    pub programs: u64,
+    /// Blocks erased.
+    pub erases: u64,
+    /// Payload bytes moved over the SRIO front-end.
+    pub bytes: u64,
+    /// Median end-to-end page-read latency, seconds.
+    pub read_p50_s: f64,
+    /// 99th-percentile end-to-end page-read latency, seconds.
+    pub read_p99_s: f64,
+    /// Worst end-to-end page-read latency, seconds.
+    pub read_max_s: f64,
+    /// Peak simultaneous tag-queue occupancy this owner reached on any one
+    /// channel.
+    pub peak_channel_tags: usize,
+}
+
 /// Energy totals of a run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EnergySummary {
@@ -81,6 +108,13 @@ pub struct RunOutcome {
     pub gc_passes: u64,
     /// Metadata journal dumps run by Storengine.
     pub journal_dumps: u64,
+    /// Per-owner flash traffic and read tail latency (kernels, GC,
+    /// journal), for the QoS figures.
+    pub flash_owner_stats: Vec<OwnerFlashStats>,
+    /// 99th-percentile foreground (kernel-owned) page-read latency in
+    /// seconds — the tail the per-owner budgets exist to protect. Zero
+    /// when the run read nothing.
+    pub foreground_read_p99_s: f64,
 }
 
 impl RunOutcome {
@@ -190,6 +224,8 @@ mod tests {
             flash_group_writes: 5,
             gc_passes: 0,
             journal_dumps: 1,
+            flash_owner_stats: Vec::new(),
+            foreground_read_p99_s: 0.0,
         }
     }
 

@@ -181,6 +181,19 @@ impl RangeLockTable {
         }
     }
 
+    /// The owner of the first held lock overlapping `[start, end)` — the
+    /// cross-layer identity Flashvisor stamps on the flash commands a
+    /// data-section transfer issues. `None` when nothing covers the range.
+    pub fn owner_covering(&self, start: u64, end: u64) -> Option<u32> {
+        if start >= end {
+            return None;
+        }
+        self.locks
+            .values()
+            .find(|l| l.start < end && start < l.end)
+            .map(|l| l.owner)
+    }
+
     /// All currently held ranges, ordered by start address.
     pub fn held_ranges(&self) -> Vec<(u64, u64, LockMode, u32)> {
         self.locks

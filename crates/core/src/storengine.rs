@@ -12,21 +12,29 @@
 use crate::config::FlashAbacusConfig;
 use crate::error::FaError;
 use crate::flashvisor::Flashvisor;
-use fa_flash::{FlashCommand, PhysicalPageAddr};
+use fa_flash::{FlashCommand, OwnerId, PhysicalPageAddr};
 use fa_sim::resource::FifoServer;
 use fa_sim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
-/// How a reclamation pass picks its victim block.
+/// How a reclamation pass picks its victim block row.
+///
+/// Both policies run the same *row-coherent* pass: the victim is a
+/// within-die block row (block `r` of every channel and die), the pass
+/// migrates every group with a page in the row, relocation destinations
+/// are excluded from the row, and the erase reclaims the whole row's group
+/// range — so an erase can never destroy a mapped group the pass did not
+/// migrate, and overwrite garbage in the row comes back to the allocator.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum GcVictimPolicy {
-    /// Visit blocks in order, no valid-page counting — the paper's cheap
-    /// §4.3 policy and the default.
+    /// Visit block rows in order, no valid-page counting — the paper's
+    /// cheap §4.3 policy and the default.
     #[default]
     RoundRobin,
-    /// Pick the reclaimable block with the fewest valid pages from the
-    /// backbone's incremental valid-page index (cheapest migration);
-    /// falls back to round-robin when nothing holds garbage.
+    /// Pick the row of the reclaimable block with the fewest valid pages
+    /// from the backbone's incremental valid-page index (cheapest
+    /// migration); falls back to the round-robin walk when nothing holds
+    /// garbage.
     GreedyMinValid,
 }
 
@@ -63,6 +71,40 @@ pub struct GcOutcome {
     /// Valid pages migrated.
     pub pages_migrated: u64,
     /// When the pass finished.
+    pub finished: SimTime,
+}
+
+/// The planning half of a reclamation pass: which block row to erase and
+/// which groups must be migrated out of it first. Planning touches only
+/// Storengine's cursor and the incremental indexes — no device time — so
+/// the system driver can plan a pass when a background event fires and
+/// execute it immediately against the state the plan was derived from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GcPlan {
+    /// Within-die block row this pass reclaims (block `row` of every
+    /// channel and die).
+    pub row: u64,
+    /// Low end (inclusive) of the row's page-group range.
+    pub group_low: u64,
+    /// High end (exclusive) of the row's page-group range.
+    pub group_high: u64,
+    /// `(logical, physical)` groups to migrate, in logical order.
+    pub victims: Vec<(u64, u64)>,
+}
+
+/// Progress of one reclamation pass across budget-bounded migration
+/// slices: where the next slice resumes, what has been migrated so far,
+/// and the simulated instant the issued traffic completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcPassProgress {
+    /// Index into [`GcPlan::victims`] the next migration slice starts at.
+    pub next_victim: usize,
+    /// Groups migrated so far by this pass.
+    pub migrated_groups: u64,
+    /// Pages migrated so far by this pass.
+    pub migrated_pages: u64,
+    /// When the traffic issued so far completes (the next slice resumes
+    /// here).
     pub finished: SimTime,
 }
 
@@ -153,24 +195,45 @@ impl Storengine {
             let page = ((i / (geometry.channels * geometry.dies_per_channel()) as u64)
                 % geometry.pages_per_block as u64) as usize;
             let addr = PhysicalPageAddr::new(channel, die, block, page);
-            // The metadata block may need erasing once its pages are used up.
-            match flashvisor
-                .backbone_mut()
-                .submit(prep_done, FlashCommand::program(addr))
-            {
-                Ok(c) => finished = finished.max(c.finished),
-                Err(_) => {
-                    let erased = flashvisor
-                        .backbone_mut()
-                        .submit(prep_done, FlashCommand::erase(addr))?;
-                    let c = flashvisor
-                        .backbone_mut()
-                        .submit(erased.finished, FlashCommand::program(addr))?;
-                    finished = finished.max(c.finished);
+            // The metadata block may need erasing once its pages are used
+            // up. All journal traffic carries the Journal owner, so it
+            // contends at the tag queues under the background budget.
+            let page_result: Result<(), FaError> = (|| {
+                match flashvisor.backbone_mut().submit_tagged(
+                    prep_done,
+                    FlashCommand::program(addr),
+                    OwnerId::Journal,
+                ) {
+                    Ok(c) => finished = finished.max(c.finished),
+                    Err(_) => {
+                        let erased = flashvisor.backbone_mut().submit_tagged(
+                            prep_done,
+                            FlashCommand::erase(addr),
+                            OwnerId::Journal,
+                        )?;
+                        let c = flashvisor.backbone_mut().submit_tagged(
+                            erased.finished,
+                            FlashCommand::program(addr),
+                            OwnerId::Journal,
+                        )?;
+                        finished = finished.max(c.finished);
+                    }
                 }
+                Ok(())
+            })();
+            if let Err(e) = page_result {
+                // Even a failed dump may have erased the metadata block;
+                // drain the reclaim list before surfacing the error, or the
+                // cleared groups would sit unreachable until the next
+                // storage-management activity.
+                flashvisor.reclaim_fully_erased();
+                return Err(e);
             }
             self.stats.journal_pages += 1;
         }
+        // A metadata-block erase may have cleared the last programmed pages
+        // of data groups; return any unmapped ones to the allocator.
+        flashvisor.reclaim_fully_erased();
         self.stats.journal_dumps += 1;
         self.last_journal = now;
         Ok(finished)
@@ -181,63 +244,87 @@ impl Storengine {
         flashvisor.free_fraction() < self.config.gc_low_watermark
     }
 
-    /// Runs one round-robin reclamation pass: selects the next victim block
-    /// (no valid-page counting — §4.3's cheap policy), migrates its valid
-    /// pages to freshly allocated locations, erases it, and recycles the
-    /// page groups it contributed.
-    pub fn collect_garbage(
-        &mut self,
-        now: SimTime,
-        flashvisor: &mut Flashvisor,
-    ) -> Result<GcOutcome, FaError> {
+    /// Plans one reclamation pass: picks the victim block row under the
+    /// configured policy and enumerates the groups that must be migrated
+    /// out of it (via the reverse index — O(groups per row), not a mapping
+    /// scan). Consumes no device time; the caller executes the plan with
+    /// [`Storengine::execute_gc`] against the same Flashvisor state.
+    pub fn plan_gc(&mut self, flashvisor: &Flashvisor) -> GcPlan {
         let geometry = self.config.flash_geometry;
-        let pages_per_group = self.config.pages_per_group();
-        let total_blocks = geometry.total_blocks();
-        // Pick the victim block under the configured policy.
-        let victim_index = match self.config.gc_victim {
+        let blocks_per_die = geometry.blocks_per_die() as u64;
+        let row = match self.config.gc_victim {
             GcVictimPolicy::RoundRobin => {
-                let v = self.victim_cursor % total_blocks;
+                let r = self.victim_cursor % blocks_per_die;
                 self.victim_cursor += 1;
-                v
+                r
             }
             GcVictimPolicy::GreedyMinValid => {
                 match flashvisor.backbone().min_valid_garbage_block() {
-                    Some(b) => b,
+                    Some(b) => geometry.block_index_to_addr(b).2 as u64,
                     // Nothing holds garbage: fall back to the round-robin
                     // walk so the pass still erases *something* reclaimable
                     // in the long run.
                     None => {
-                        let v = self.victim_cursor % total_blocks;
+                        let r = self.victim_cursor % blocks_per_die;
                         self.victim_cursor += 1;
-                        v
+                        r
                     }
                 }
             }
         };
-        let (channel, die, block) = geometry.block_index_to_addr(victim_index);
+        let (group_low, group_high) = self.config.block_row_group_range(row);
+        GcPlan {
+            row,
+            group_low,
+            group_high,
+            victims: flashvisor.victim_groups(group_low, group_high),
+        }
+    }
 
-        // Load the page-table entries for the victim (reads from flash, the
-        // paper's Storengine loads them from the backbone metadata area).
-        let mut cursor = self.charge_cpu(now, 2_000);
+    /// Opens a reclamation pass: charges the page-table load to the
+    /// Storengine LWP (the paper's Storengine reads the victim's entries
+    /// from the backbone metadata area) and returns the progress record
+    /// the migration steps advance.
+    pub fn begin_gc_pass(&mut self, now: SimTime) -> GcPassProgress {
+        GcPassProgress {
+            next_victim: 0,
+            migrated_groups: 0,
+            migrated_pages: 0,
+            finished: self.charge_cpu(now, 2_000),
+        }
+    }
 
-        // Find the logical groups this pass migrates. RoundRobin keeps the
-        // block-order slice of the group space (the paper's cheap walk,
-        // byte-identical to the pre-subsystem scan); GreedyMinValid
-        // migrates the victim's whole block row — every group with a page
-        // in the chosen block — so its erase never destroys a mapped group
-        // the pass did not migrate. Either way the reverse index answers
-        // in O(groups per range) what a full mapping-table scan used to.
-        let (group_low, group_high) = match self.config.gc_victim {
-            GcVictimPolicy::RoundRobin => self.config.gc_scan_group_range(victim_index),
-            GcVictimPolicy::GreedyMinValid => self.config.block_row_group_range(block as u64),
-        };
-        let victims = flashvisor.victim_groups(group_low, group_high);
-
-        let row_coherent = self.config.gc_victim == GcVictimPolicy::GreedyMinValid;
-        let mut migrated = 0u64;
-        let mut reclaimed_groups = 0u64;
-        let mut migration_clean = true;
-        for (lg, old_pg) in victims {
+    /// Migrates up to `max_groups` of the plan's victims, starting at
+    /// `progress.next_victim`: read the old group's pages, program them
+    /// into a destination outside the victim row, remap, and recycle the
+    /// old group. All traffic is issued under [`OwnerId::Gc`]. A bounded
+    /// `max_groups` is how the system driver slices a budgeted background
+    /// pass into separate events, so foreground requests issue between
+    /// slices instead of queueing behind a whole row's migration burst.
+    pub fn migrate_gc_groups(
+        &mut self,
+        flashvisor: &mut Flashvisor,
+        plan: &GcPlan,
+        progress: &mut GcPassProgress,
+        max_groups: usize,
+    ) -> Result<(), FaError> {
+        let geometry = self.config.flash_geometry;
+        let pages_per_group = self.config.pages_per_group();
+        let mut cursor = progress.finished;
+        let end = plan
+            .victims
+            .len()
+            .min(progress.next_victim.saturating_add(max_groups));
+        while progress.next_victim < end {
+            let (lg, old_pg) = plan.victims[progress.next_victim];
+            progress.next_victim += 1;
+            // A sliced pass interleaves with foreground writes, which may
+            // have remapped or overwritten the group since planning; a
+            // stale entry needs no migration (its garbage is reclaimed
+            // with the row).
+            if flashvisor.physical_group_of(lg) != Some(old_pg) {
+                continue;
+            }
             // Migrate: read valid pages of the old group, program them into
             // a new group, update the mapping.
             for i in 0..pages_per_group {
@@ -246,24 +333,19 @@ impl Storengine {
                     continue;
                 }
                 let addr = geometry.flat_to_addr(flat);
-                if let Ok(c) = flashvisor
-                    .backbone_mut()
-                    .submit(cursor, FlashCommand::read(addr))
-                {
+                if let Ok(c) = flashvisor.backbone_mut().submit_tagged(
+                    cursor,
+                    FlashCommand::read(addr),
+                    OwnerId::Gc,
+                ) {
                     cursor = cursor.max(c.finished);
                 }
             }
-            // Allocation for the migrated copy reuses the normal write path
-            // bookkeeping via remap: pick the next free group through a
-            // write-sized CPU charge and the backbone programs. A
-            // row-coherent pass excludes its own victim range so the erase
-            // below cannot destroy freshly relocated data.
-            let destination = match self.config.gc_victim {
-                GcVictimPolicy::RoundRobin => self.allocate_for_migration(flashvisor),
-                GcVictimPolicy::GreedyMinValid => {
-                    flashvisor.allocate_group_for_gc_excluding(group_low, group_high)
-                }
-            };
+            // The relocation destination excludes the victim row, so the
+            // erase at the end of the pass can never destroy freshly
+            // relocated data.
+            let destination =
+                flashvisor.allocate_group_for_gc_excluding(plan.group_low, plan.group_high);
             let new_pg = match destination {
                 Some(g) => g,
                 // Every free group lies inside the row this pass wants to
@@ -271,10 +353,7 @@ impl Storengine {
                 // group mapped where it is and keep the pass
                 // non-destructive rather than aborting the run — the space
                 // is still there, just not reachable by this victim choice.
-                None if row_coherent && flashvisor.free_physical_groups() > 0 => {
-                    migration_clean = false;
-                    continue;
-                }
+                None if flashvisor.free_physical_groups() > 0 => continue,
                 None => {
                     return Err(FaError::OutOfFlashSpace {
                         requested: 1,
@@ -289,97 +368,116 @@ impl Storengine {
                     continue;
                 }
                 let addr = geometry.flat_to_addr(flat);
-                match flashvisor
-                    .backbone_mut()
-                    .submit(cursor, FlashCommand::program(addr))
-                {
+                match flashvisor.backbone_mut().submit_tagged(
+                    cursor,
+                    FlashCommand::program(addr),
+                    OwnerId::Gc,
+                ) {
                     Ok(c) => cursor = cursor.max(c.finished),
+                    // The destination could not take the data (a recycled
+                    // group in a block whose write cursor does not line
+                    // up). Leave the group mapped where it is and skip it —
+                    // the erase check at the end of the pass sees the
+                    // leftover mapping and skips the erase, so nothing
+                    // mapped is lost.
                     Err(_) => programmed_ok = false,
                 }
             }
-            if row_coherent && !programmed_ok {
-                // The destination could not take the data (a recycled group
-                // in a block whose write cursor does not line up). Leave
-                // the group mapped where it is and leak the unusable
-                // destination — the erase below is skipped, so nothing
-                // mapped is lost. RoundRobin keeps the seed's
-                // ignore-and-continue behaviour for byte-identical output.
-                migration_clean = false;
+            if !programmed_ok {
+                flashvisor.rollback_failed_allocation(new_pg);
                 continue;
             }
             flashvisor.remap_group(lg, new_pg);
-            migrated += pages_per_group;
-            reclaimed_groups += 1;
-            flashvisor.recycle_group(old_pg);
+            progress.migrated_pages += pages_per_group;
+            progress.migrated_groups += 1;
+            // The old group is NOT recycled here: its block is still
+            // unerased, and a sliced pass interleaves with foreground
+            // writes that would pop it and fail their programs. The row
+            // erase at the end of the pass returns it (and everything else
+            // in the range) to the allocator in one reusable ascending run.
             self.stats.pages_migrated += pages_per_group;
         }
+        progress.finished = cursor;
+        Ok(())
+    }
 
-        if row_coherent && !migration_clean {
-            // At least one group still lives in the victim row: erasing
-            // would destroy mapped data, so this pass only banks the
-            // migrations that did succeed.
+    /// Closes a reclamation pass once every victim was visited. When the
+    /// victim row holds no mapped group any more — every migration landed,
+    /// and no interleaved foreground write claimed an in-row group — the
+    /// whole row is erased (the erases parallelize across channels and
+    /// dies) and its group range, including overwrite garbage no migration
+    /// ever recycled, returns to the allocator as one ascending run.
+    /// Otherwise the pass banks its migrations and skips the erase, so
+    /// mapped data is never destroyed.
+    pub fn finish_gc_pass(
+        &mut self,
+        flashvisor: &mut Flashvisor,
+        plan: &GcPlan,
+        progress: &GcPassProgress,
+    ) -> Result<GcOutcome, FaError> {
+        let geometry = self.config.flash_geometry;
+        if !flashvisor
+            .victim_groups(plan.group_low, plan.group_high)
+            .is_empty()
+        {
+            // The migrations are banked (the mappings moved), but no space
+            // comes back until a later pass can erase the row.
             return Ok(GcOutcome {
-                groups_reclaimed: reclaimed_groups,
-                pages_migrated: migrated,
-                finished: cursor,
+                groups_reclaimed: 0,
+                pages_migrated: progress.migrated_pages,
+                finished: progress.finished,
             });
         }
-
-        if row_coherent {
-            // Row-coherent reclamation: the whole row is now unmapped, so
-            // erase every block of it (they parallelize across channels
-            // and dies) and hand the range back to the allocator as one
-            // ascending run — reusable from page 0 in NAND programming
-            // order. This also recovers overwrite garbage that was never
-            // individually recycled.
-            let mut finished = cursor;
-            for ch in 0..geometry.channels {
-                for d in 0..geometry.dies_per_channel() {
-                    let erase_addr = PhysicalPageAddr::new(ch, d, block, 0);
-                    let erased = flashvisor
-                        .backbone_mut()
-                        .submit(cursor, FlashCommand::erase(erase_addr))?;
-                    finished = finished.max(erased.finished);
-                    self.stats.erases += 1;
-                    self.stats.blocks_reclaimed += 1;
-                }
+        let mut finished = progress.finished;
+        for ch in 0..geometry.channels {
+            for d in 0..geometry.dies_per_channel() {
+                let erase_addr = PhysicalPageAddr::new(ch, d, plan.row as usize, 0);
+                let erased = flashvisor.backbone_mut().submit_tagged(
+                    progress.finished,
+                    FlashCommand::erase(erase_addr),
+                    OwnerId::Gc,
+                )?;
+                finished = finished.max(erased.finished);
+                self.stats.erases += 1;
+                self.stats.blocks_reclaimed += 1;
             }
-            reclaimed_groups += flashvisor.reclaim_group_range(group_low, group_high);
-            return Ok(GcOutcome {
-                groups_reclaimed: reclaimed_groups,
-                pages_migrated: migrated,
-                finished,
-            });
         }
-
-        // Erase the victim block.
-        let erase_addr = PhysicalPageAddr::new(channel, die, block, 0);
-        let erased = flashvisor
-            .backbone_mut()
-            .submit(cursor, FlashCommand::erase(erase_addr))?;
-        self.stats.erases += 1;
-        self.stats.blocks_reclaimed += 1;
+        // The fully-erased drain first returns any group the erases cleared
+        // (inside the range the reclaim below normalizes the order;
+        // elsewhere, garbage the row shared a group with), then the range
+        // reclaim recovers everything the row held: the migrated groups'
+        // old locations and the overwrite garbage no migration ever
+        // recycled.
+        flashvisor.reclaim_fully_erased();
+        let reclaimed_groups = flashvisor.reclaim_group_range(plan.group_low, plan.group_high);
         Ok(GcOutcome {
             groups_reclaimed: reclaimed_groups,
-            pages_migrated: migrated,
-            finished: erased.finished,
+            pages_migrated: progress.migrated_pages,
+            finished,
         })
     }
 
-    /// Allocates a destination group for migration without recursing into
-    /// Flashvisor's public write path (which would re-count statistics).
-    fn allocate_for_migration(&mut self, flashvisor: &mut Flashvisor) -> Option<u64> {
-        // Reuse a recycled group if one exists, otherwise take the next
-        // log-structured group by performing the same bookkeeping Flashvisor
-        // would: we approximate by scanning for the first unallocated group
-        // past the cursor via free-space accounting.
-        if flashvisor.free_physical_groups() == 0 {
-            return None;
-        }
-        // Delegate to Flashvisor's allocator by recycling nothing and using
-        // a tiny private hook: write_section would double-count stats, so we
-        // expose allocation through recycle/physical accounting instead.
-        flashvisor.allocate_group_for_gc()
+    /// Executes a planned reclamation pass in one go: migrate everything,
+    /// then erase and reclaim the row.
+    pub fn execute_gc(
+        &mut self,
+        now: SimTime,
+        flashvisor: &mut Flashvisor,
+        plan: &GcPlan,
+    ) -> Result<GcOutcome, FaError> {
+        let mut progress = self.begin_gc_pass(now);
+        self.migrate_gc_groups(flashvisor, plan, &mut progress, usize::MAX)?;
+        self.finish_gc_pass(flashvisor, plan, &progress)
+    }
+
+    /// Runs one reclamation pass synchronously: plan, then execute.
+    pub fn collect_garbage(
+        &mut self,
+        now: SimTime,
+        flashvisor: &mut Flashvisor,
+    ) -> Result<GcOutcome, FaError> {
+        let plan = self.plan_gc(flashvisor);
+        self.execute_gc(now, flashvisor, &plan)
     }
 }
 

@@ -1,18 +1,22 @@
-//! Records the harness's own performance: campaign wall-clock (serial vs
-//! parallel), per-policy dispatch throughput, and the incremental
-//! allocator / GC-discovery speedups, written to `BENCH_PR3.json`.
+//! Records the harness's own performance — campaign wall-clock (serial vs
+//! parallel), per-policy dispatch throughput, the incremental allocator /
+//! GC-discovery speedups — plus the *simulated* QoS ablation: foreground
+//! read p99 under concurrent GC with storage management synchronous,
+//! backgrounded, and backgrounded with a per-owner tag budget. Written to
+//! `BENCH_PR4.json`.
 //!
-//! This measures the *simulator*, not the simulated hardware — the numbers
-//! seed the repository's perf trajectory so later PRs can show their
-//! speedups against a recorded baseline. Knobs: `FA_DATA_SCALE` (workload
-//! size divisor), `FA_THREADS` (parallel campaign width), `FA_PERFSTAT_OUT`
-//! (output path, default `BENCH_PR3.json` in the working directory).
+//! The wall-clock sections measure the simulator, not the simulated
+//! hardware; the `qos_ablation` section is simulated time and is exactly
+//! reproducible. Knobs: `FA_DATA_SCALE` (workload size divisor),
+//! `FA_THREADS` (parallel campaign width), `FA_PERFSTAT_OUT` (output path,
+//! default `BENCH_PR4.json` in the working directory).
 //!
 //! Regenerate with:
 //! ```text
 //! cargo run --release -p fa-bench --bin perfstat
 //! ```
 
+use fa_bench::experiments::fig12_cdf::{gc_pressure_workload, qos_ablation_modes, run_qos_mode};
 use fa_bench::experiments::Campaign;
 use fa_bench::perf::{
     naive_ready_first, naive_victim_groups, populated_flashvisor, screen_batch, NaiveScanAllocator,
@@ -61,6 +65,14 @@ struct GcDiscoveryStat {
     passes: u64,
     incremental_seconds: f64,
     rescan_seconds: f64,
+}
+
+/// One QoS-ablation mode's simulated outcome.
+struct QosStat {
+    mode: &'static str,
+    gc_passes: u64,
+    foreground_read_p99_s: f64,
+    finish_s: f64,
 }
 
 /// Times a full drain of `groups` page groups through the incremental
@@ -299,9 +311,25 @@ fn main() {
         .map(|&(groups, passes)| time_gc_discovery(groups, passes))
         .collect();
 
+    // The QoS ablation (simulated time, deterministic): foreground read
+    // p99 under concurrent GC, synchronous vs background vs budgeted.
+    let qos_apps = gc_pressure_workload();
+    let qos: Vec<QosStat> = qos_ablation_modes()
+        .into_iter()
+        .map(|(mode, config)| {
+            let out = run_qos_mode(config, &qos_apps);
+            QosStat {
+                mode,
+                gc_passes: out.gc_passes,
+                foreground_read_p99_s: out.foreground_read_p99_s,
+                finish_s: out.finished_at.as_secs_f64(),
+            }
+        })
+        .collect();
+
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"pr\": 3,");
+    let _ = writeln!(json, "  \"pr\": 4,");
     let _ = writeln!(json, "  \"data_scale\": {},", scale.data_scale);
     let _ = writeln!(json, "  \"threads\": {threads},");
     json.push_str("  \"campaigns\": [\n");
@@ -373,10 +401,42 @@ fn main() {
             "\n"
         });
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    // Simulated (deterministic) foreground tail under concurrent GC; the
+    // final field is the unbudgeted-over-budgeted p99 ratio — the isolation
+    // win the per-owner budgets buy.
+    json.push_str("  \"qos_ablation\": [\n");
+    for (i, q) in qos.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"mode\": \"{}\", \"gc_passes\": {}, \"foreground_read_p99_ms\": {:.6}, \"batch_finish_ms\": {:.6}}}",
+            q.mode,
+            q.gc_passes,
+            q.foreground_read_p99_s * 1e3,
+            q.finish_s * 1e3
+        );
+        json.push_str(if i + 1 < qos.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let unbudgeted = qos
+        .iter()
+        .find(|q| q.mode == "bg-unbudgeted")
+        .map(|q| q.foreground_read_p99_s)
+        .unwrap_or(0.0);
+    let budgeted = qos
+        .iter()
+        .find(|q| q.mode == "bg-budgeted")
+        .map(|q| q.foreground_read_p99_s)
+        .unwrap_or(0.0);
+    let _ = writeln!(
+        json,
+        "  \"qos_p99_improvement\": {:.3}",
+        unbudgeted / budgeted.max(1e-12)
+    );
+    json.push_str("}\n");
 
     let out_path =
-        std::env::var("FA_PERFSTAT_OUT").unwrap_or_else(|_| "BENCH_PR3.json".to_string());
+        std::env::var("FA_PERFSTAT_OUT").unwrap_or_else(|_| "BENCH_PR4.json".to_string());
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     println!("{json}");
     eprintln!("perfstat: wrote {out_path}");

@@ -9,11 +9,13 @@
 use crate::controller::{ChannelController, ChannelOp, ChannelStats};
 use crate::error::FlashError;
 use crate::geometry::{FlashGeometry, PhysicalPageAddr};
+use crate::owner::{OwnerId, OwnerStats, QosBudgets};
 use crate::timing::FlashTiming;
 use crate::validindex::ValidPageIndex;
 use fa_sim::resource::SerializedResource;
 use fa_sim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Operations accepted by the backbone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -114,6 +116,11 @@ pub struct FlashBackbone {
     /// changes page state. Storengine's GC victim selection reads this.
     valid_index: ValidPageIndex,
     stats: BackboneStats,
+    /// Per-owner command/byte/latency accounting (QoS figures and oracles).
+    owner_stats: BTreeMap<OwnerId, OwnerStats>,
+    /// Every completed read's end-to-end latency in nanoseconds, per owner,
+    /// for tail-latency quantiles (p99 of one kernel under concurrent GC).
+    read_latencies: BTreeMap<OwnerId, Vec<u64>>,
 }
 
 impl FlashBackbone {
@@ -140,7 +147,27 @@ impl FlashBackbone {
                 geometry.pages_per_block,
             ),
             stats: BackboneStats::default(),
+            owner_stats: BTreeMap::new(),
+            read_latencies: BTreeMap::new(),
         }
+    }
+
+    /// Installs per-owner tag budgets on every channel controller
+    /// (unlimited by default, which reproduces untagged admission exactly).
+    pub fn set_qos_budgets(&mut self, budgets: QosBudgets) {
+        for channel in &mut self.channels {
+            channel.set_qos_budgets(budgets);
+        }
+    }
+
+    /// Enables page-group accounting in the valid-page index: `pages_per_
+    /// group` consecutive flat pages form one allocation group, and erases
+    /// report the groups whose last programmed page they cleared (see
+    /// [`FlashBackbone::take_fully_erased_groups`]).
+    pub fn enable_group_tracking(&mut self, pages_per_group: u64) {
+        let total_groups = self.geometry.total_pages() / pages_per_group.max(1);
+        self.valid_index
+            .enable_group_tracking(pages_per_group, total_groups);
     }
 
     /// The backbone geometry.
@@ -213,40 +240,69 @@ impl FlashBackbone {
             .clamp(0.0, 1.0)
     }
 
-    /// Submits a command at `now` and returns its completion record.
+    /// Submits a command at `now` without owner attribution (equivalent to
+    /// [`FlashBackbone::submit_tagged`] with [`OwnerId::Unattributed`]).
     pub fn submit(
         &mut self,
         now: SimTime,
         command: FlashCommand,
+    ) -> Result<FlashCompletion, FlashError> {
+        self.submit_tagged(now, command, OwnerId::Unattributed)
+    }
+
+    /// Submits a command at `now` on behalf of `owner` and returns its
+    /// completion record. The owner identity reaches the channel
+    /// controller's tag queue (per-owner budget admission) and the
+    /// per-owner statistics.
+    pub fn submit_tagged(
+        &mut self,
+        now: SimTime,
+        command: FlashCommand,
+        owner: OwnerId,
     ) -> Result<FlashCompletion, FlashError> {
         if !self.geometry.contains(command.addr) {
             return Err(FlashError::OutOfRange(command.addr));
         }
         let page_bytes = self.geometry.page_bytes as u64;
         let block = self.geometry.block_index(command.addr);
+        let flat = self.geometry.addr_to_flat(command.addr);
         let channel = &mut self.channels[command.addr.channel];
+        let by_owner = self.owner_stats.entry(owner).or_default();
         let finished = match command.op {
             FlashOp::ReadPage => {
-                let done = channel.execute(now, ChannelOp::Read, command.addr, None)?;
+                let done = channel.execute(now, ChannelOp::Read, command.addr, owner, None)?;
                 // Read data crosses the SRIO lanes back to the network.
                 let res = self.srio.reserve(done, page_bytes);
                 self.stats.reads += 1;
                 self.stats.srio_bytes += page_bytes;
+                by_owner.reads += 1;
+                by_owner.bytes += page_bytes;
+                let latency_ns = res.end.saturating_since(now).as_ns();
+                by_owner.read_latency_total_ns += latency_ns;
+                by_owner.read_latency_max_ns = by_owner.read_latency_max_ns.max(latency_ns);
+                self.read_latencies
+                    .entry(owner)
+                    .or_default()
+                    .push(latency_ns);
                 res.end
             }
             FlashOp::ProgramPage => {
                 // Write data crosses SRIO before it reaches the channel.
                 let res = self.srio.reserve(now, page_bytes);
-                let done = channel.execute(res.end, ChannelOp::Program, command.addr, None)?;
-                self.valid_index.on_program(block);
+                let done =
+                    channel.execute(res.end, ChannelOp::Program, command.addr, owner, None)?;
+                self.valid_index.on_program(block, flat);
                 self.stats.programs += 1;
                 self.stats.srio_bytes += page_bytes;
+                by_owner.programs += 1;
+                by_owner.bytes += page_bytes;
                 done
             }
             FlashOp::EraseBlock => {
-                let done = channel.execute(now, ChannelOp::Erase, command.addr, None)?;
+                let done = channel.execute(now, ChannelOp::Erase, command.addr, owner, None)?;
                 self.valid_index.on_erase(block);
                 self.stats.erases += 1;
+                by_owner.erases += 1;
                 done
             }
         };
@@ -257,22 +313,23 @@ impl FlashBackbone {
         })
     }
 
-    /// Submits a batch of commands at `now` and returns when the last one
-    /// finished. Semantically identical to calling
-    /// [`FlashBackbone::submit`] per command at the same instant, but
-    /// without a completion record per page — the vectored path the
-    /// multi-page group reads/writes of Flashvisor issue through. Stops at
-    /// the first failing command; commands before it have already taken
-    /// effect.
+    /// Submits a batch of commands at `now` on behalf of `owner` and
+    /// returns when the last one finished. Semantically identical to
+    /// calling [`FlashBackbone::submit_tagged`] per command at the same
+    /// instant, but without a completion record per page — the vectored
+    /// path the multi-page group reads/writes of Flashvisor issue through.
+    /// Stops at the first failing command; commands before it have already
+    /// taken effect.
     pub fn submit_batch(
         &mut self,
         now: SimTime,
         commands: impl IntoIterator<Item = FlashCommand>,
+        owner: OwnerId,
     ) -> Result<BatchCompletion, FlashError> {
         let mut finished = now;
         let mut count = 0u64;
         for command in commands {
-            let completion = self.submit(now, command)?;
+            let completion = self.submit_tagged(now, command, owner)?;
             finished = finished.max(completion.finished);
             count += 1;
         }
@@ -290,7 +347,10 @@ impl FlashBackbone {
             return Err(FlashError::OutOfRange(addr));
         }
         self.channels[addr.channel].preload(addr)?;
-        self.valid_index.on_program(self.geometry.block_index(addr));
+        self.valid_index.on_program(
+            self.geometry.block_index(addr),
+            self.geometry.addr_to_flat(addr),
+        );
         Ok(())
     }
 
@@ -300,8 +360,10 @@ impl FlashBackbone {
             return Err(FlashError::OutOfRange(addr));
         }
         self.channels[addr.channel].invalidate(addr)?;
-        self.valid_index
-            .on_invalidate(self.geometry.block_index(addr));
+        self.valid_index.on_invalidate(
+            self.geometry.block_index(addr),
+            self.geometry.addr_to_flat(addr),
+        );
         Ok(())
     }
 
@@ -320,6 +382,77 @@ impl FlashBackbone {
     /// The incremental valid-page index (GC victim selection, oracles).
     pub fn valid_index(&self) -> &ValidPageIndex {
         &self.valid_index
+    }
+
+    /// Drains the page groups whose last programmed page was cleared by an
+    /// erase since the previous call. With group tracking enabled, these
+    /// are exactly the groups an erase made reusable — including
+    /// overwritten (unmapped) garbage groups that were never individually
+    /// recycled. Callers return the unmapped ones to the allocator.
+    pub fn take_fully_erased_groups(&mut self) -> Vec<u64> {
+        self.valid_index.take_fully_erased_groups()
+    }
+
+    /// Per-owner command counts, payload bytes, read latencies, and peak
+    /// channel tag occupancy. Summing the command counts and bytes across
+    /// owners reproduces [`FlashBackbone::stats`] exactly (the oracle
+    /// property).
+    pub fn owner_stats(&self) -> BTreeMap<OwnerId, OwnerStats> {
+        let mut merged = self.owner_stats.clone();
+        for channel in &self.channels {
+            for (&owner, &peak) in channel.owner_peak_tags() {
+                let entry = merged.entry(owner).or_default();
+                entry.peak_tags = entry.peak_tags.max(peak);
+            }
+        }
+        merged
+    }
+
+    /// The `q`-quantile (0..=1) of `owner`'s end-to-end page-read
+    /// latencies, or `None` when the owner completed no reads.
+    pub fn read_latency_quantile(&self, owner: OwnerId, q: f64) -> Option<SimDuration> {
+        Self::quantile_of(self.read_latencies.get(&owner)?.clone(), q)
+    }
+
+    /// Several quantiles of `owner`'s read latencies from a single sort —
+    /// the run-outcome builder asks for p50/p99/max per owner, and cloning
+    /// plus re-sorting the distribution per quantile would triple the
+    /// work.
+    pub fn read_latency_quantiles(&self, owner: OwnerId, qs: &[f64]) -> Option<Vec<SimDuration>> {
+        let mut latencies = self.read_latencies.get(&owner)?.clone();
+        if latencies.is_empty() {
+            return None;
+        }
+        latencies.sort_unstable();
+        Some(
+            qs.iter()
+                .map(|q| {
+                    let rank = ((latencies.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+                    SimDuration::from_ns(latencies[rank])
+                })
+                .collect(),
+        )
+    }
+
+    /// The `q`-quantile of all *foreground* (non-background-owner) read
+    /// latencies — the tail the QoS budgets exist to protect.
+    pub fn foreground_read_latency_quantile(&self, q: f64) -> Option<SimDuration> {
+        let merged: Vec<u64> = self
+            .read_latencies
+            .iter()
+            .filter(|(owner, _)| !owner.is_background())
+            .flat_map(|(_, v)| v.iter().copied())
+            .collect();
+        Self::quantile_of(merged, q)
+    }
+
+    fn quantile_of(mut latencies: Vec<u64>, q: f64) -> Option<SimDuration> {
+        if latencies.is_empty() {
+            return None;
+        }
+        latencies.sort_unstable();
+        let rank = ((latencies.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        Some(SimDuration::from_ns(latencies[rank]))
     }
 
     /// The reclaimable block (≥1 invalid page) with the fewest valid pages,
@@ -461,11 +594,77 @@ mod tests {
         for &cmd in &cmds {
             finished = finished.max(a.submit(SimTime::ZERO, cmd).unwrap().finished);
         }
-        let batch = b.submit_batch(SimTime::ZERO, cmds.iter().copied()).unwrap();
+        let batch = b
+            .submit_batch(SimTime::ZERO, cmds.iter().copied(), OwnerId::Unattributed)
+            .unwrap();
         assert_eq!(batch.finished, finished);
         assert_eq!(batch.commands, 4);
         assert_eq!(a.stats(), b.stats());
         assert_eq!(a.total_valid_pages(), b.total_valid_pages());
+    }
+
+    #[test]
+    fn per_owner_stats_sum_to_untagged_totals() {
+        let mut b = backbone();
+        let owners = [
+            OwnerId::Kernel(0),
+            OwnerId::Kernel(1),
+            OwnerId::Gc,
+            OwnerId::Journal,
+        ];
+        let mut t = SimTime::ZERO;
+        for (i, &owner) in owners.iter().enumerate() {
+            for p in 0..4 {
+                let addr = PhysicalPageAddr::new(p % 2, 0, i, p / 2);
+                t = b
+                    .submit_tagged(t, FlashCommand::program(addr), owner)
+                    .unwrap()
+                    .finished;
+                t = b
+                    .submit_tagged(t, FlashCommand::read(addr), owner)
+                    .unwrap()
+                    .finished;
+            }
+        }
+        t = b
+            .submit_tagged(
+                t,
+                FlashCommand::erase(PhysicalPageAddr::new(0, 0, 0, 0)),
+                OwnerId::Gc,
+            )
+            .unwrap()
+            .finished;
+        let _ = t;
+        let per_owner = b.owner_stats();
+        let totals = b.stats();
+        assert_eq!(
+            per_owner.values().map(|o| o.reads).sum::<u64>(),
+            totals.reads
+        );
+        assert_eq!(
+            per_owner.values().map(|o| o.programs).sum::<u64>(),
+            totals.programs
+        );
+        assert_eq!(
+            per_owner.values().map(|o| o.erases).sum::<u64>(),
+            totals.erases
+        );
+        assert_eq!(
+            per_owner.values().map(|o| o.bytes).sum::<u64>(),
+            totals.srio_bytes
+        );
+        // Every owner that read pages has a latency distribution, and its
+        // extrema bracket the recorded quantiles.
+        for &owner in &owners {
+            let stats = per_owner[&owner];
+            assert_eq!(stats.reads, 4, "{owner}");
+            let p0 = b.read_latency_quantile(owner, 0.0).unwrap();
+            let p100 = b.read_latency_quantile(owner, 1.0).unwrap();
+            assert!(p0 <= p100);
+            assert_eq!(p100.as_ns(), stats.read_latency_max_ns);
+        }
+        // The foreground aggregate covers exactly the two kernels' reads.
+        assert!(b.foreground_read_latency_quantile(0.99).is_some());
     }
 
     #[test]

@@ -10,11 +10,12 @@
 use crate::die::FlashDie;
 use crate::error::FlashError;
 use crate::geometry::{FlashGeometry, PhysicalPageAddr};
+use crate::owner::{OwnerId, QosBudgets};
 use crate::timing::FlashTiming;
 use fa_sim::resource::SerializedResource;
 use fa_sim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Operation classes the controller understands.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -51,11 +52,17 @@ pub struct ChannelController {
     timing: FlashTiming,
     page_bytes: usize,
     inbound_tags: usize,
-    /// Completion times of in-flight commands in submission order. Because
-    /// the controller serializes each phase of a command on FIFO resources,
-    /// completion times are non-decreasing in submission order, which keeps
-    /// tag-queue admission O(1) amortized.
-    outstanding: VecDeque<SimTime>,
+    /// Per-owner outstanding-command budgets; unlimited by default, which
+    /// reproduces the untagged FIFO admission exactly.
+    budgets: QosBudgets,
+    /// Completion time and owner of each in-flight command in submission
+    /// order. Because the controller serializes each phase of a command on
+    /// FIFO resources, completion times are non-decreasing in submission
+    /// order, which keeps tag-queue admission O(1) amortized (the budget
+    /// check scans the queue, whose length the tag depth bounds).
+    outstanding: VecDeque<(SimTime, OwnerId)>,
+    /// Peak simultaneous tag occupancy per owner, for the QoS figures.
+    owner_peaks: BTreeMap<OwnerId, usize>,
     /// Valid pages across the channel, maintained incrementally by
     /// [`ChannelController::execute`], [`ChannelController::invalidate`],
     /// and [`ChannelController::preload`]. Mutating a die directly through
@@ -87,10 +94,27 @@ impl ChannelController {
             timing,
             page_bytes: geometry.page_bytes,
             inbound_tags,
+            budgets: QosBudgets::unlimited(),
             outstanding: VecDeque::new(),
+            owner_peaks: BTreeMap::new(),
             valid_pages: 0,
             stats: ChannelStats::default(),
         }
+    }
+
+    /// Installs per-owner tag budgets (unlimited by default).
+    pub fn set_qos_budgets(&mut self, budgets: QosBudgets) {
+        self.budgets = budgets;
+    }
+
+    /// The per-owner tag budgets in force.
+    pub fn qos_budgets(&self) -> QosBudgets {
+        self.budgets
+    }
+
+    /// Peak simultaneous tag-queue occupancy each owner reached.
+    pub fn owner_peak_tags(&self) -> &BTreeMap<OwnerId, usize> {
+        &self.owner_peaks
     }
 
     /// The channel index this controller serves.
@@ -132,14 +156,17 @@ impl ChannelController {
     }
 
     /// Models tag-queue admission: commands submitted while `inbound_tags`
-    /// commands are still in flight are delayed until the oldest completes.
-    fn admit(&mut self, now: SimTime) -> SimTime {
+    /// commands are still in flight are delayed until the oldest completes,
+    /// and an owner already holding its whole tag budget is deferred until
+    /// one of *its own* commands retires — other owners are admitted past
+    /// it rather than FIFO-stalling behind it.
+    fn admit(&mut self, now: SimTime, owner: OwnerId) -> SimTime {
         // Drop commands that have already retired by the submission instant.
-        while matches!(self.outstanding.front(), Some(done) if *done <= now) {
+        while matches!(self.outstanding.front(), Some((done, _)) if *done <= now) {
             self.outstanding.pop_front();
         }
         let occupancy = self.outstanding.len();
-        let admitted = if occupancy < self.inbound_tags {
+        let mut admitted = if occupancy < self.inbound_tags {
             now
         } else {
             // Admission happens when enough in-flight commands have retired
@@ -147,43 +174,77 @@ impl ChannelController {
             // order and that order is non-decreasing (FIFO service on every
             // phase), so the command that frees our slot is at a fixed
             // offset from the front.
-            self.outstanding[occupancy - self.inbound_tags]
+            self.outstanding[occupancy - self.inbound_tags].0
         };
+        // Per-owner budget: with `k` of the owner's commands still in
+        // flight at the admission instant and a budget of `b`, defer until
+        // the `(k - b + 1)`-th of them retires — equivalently, the `b`-th
+        // of the owner's in-flight completions counted from the back of
+        // the (time-ordered) queue, found by one reverse scan without
+        // allocating. A zero budget is clamped to one tag — it bounds
+        // concurrency, never deadlocks the owner.
+        if let Some(budget) = self.budgets.budget_for(owner) {
+            let budget = budget.max(1);
+            let mut in_flight_seen = 0usize;
+            for (done, o) in self.outstanding.iter().rev() {
+                if *done <= admitted {
+                    // Times ascend toward the back; everything earlier has
+                    // retired by `admitted` too.
+                    break;
+                }
+                if *o == owner {
+                    in_flight_seen += 1;
+                    if in_flight_seen == budget {
+                        admitted = *done;
+                        break;
+                    }
+                }
+            }
+        }
         // Occupancy the tag queue actually sees once this command is let in.
         let in_flight_at_admit = self
             .outstanding
             .iter()
             .rev()
-            .take_while(|d| **d > admitted)
+            .take_while(|(done, _)| *done > admitted)
             .count();
         self.stats.peak_inbound_tags = self.stats.peak_inbound_tags.max(in_flight_at_admit + 1);
+        let owner_in_flight = self
+            .outstanding
+            .iter()
+            .filter(|(done, o)| *o == owner && *done > admitted)
+            .count();
+        let peak = self.owner_peaks.entry(owner).or_insert(0);
+        *peak = (*peak).max(owner_in_flight + 1);
         admitted
     }
 
-    fn record_completion(&mut self, done: SimTime) {
+    fn record_completion(&mut self, done: SimTime, owner: OwnerId) {
         // Keep the queue sorted in the rare case a later submission finishes
         // slightly earlier (e.g. an erase racing a read on another die).
-        let done = self.outstanding.back().map_or(done, |b| done.max(*b));
-        self.outstanding.push_back(done);
+        let done = self.outstanding.back().map_or(done, |b| done.max(b.0));
+        self.outstanding.push_back((done, owner));
     }
 
-    /// Executes one operation against `addr`, returning its completion time.
+    /// Executes one operation against `addr` on behalf of `owner`,
+    /// returning its completion time.
     ///
-    /// The returned instant accounts for tag-queue admission, controller
-    /// overhead, die contention, and channel-bus contention for the data
-    /// transfer phase.
+    /// The returned instant accounts for tag-queue admission (including the
+    /// owner's QoS budget), controller overhead, die contention, and
+    /// channel-bus contention for the data transfer phase.
     pub fn execute(
         &mut self,
         now: SimTime,
         op: ChannelOp,
         addr: PhysicalPageAddr,
+        owner: OwnerId,
         timing_override: Option<&FlashTiming>,
     ) -> Result<SimTime, FlashError> {
         if addr.die >= self.dies.len() {
             return Err(FlashError::OutOfRange(addr));
         }
         let timing = *timing_override.unwrap_or(&self.timing);
-        let admitted = self.admit(now) + timing.controller_overhead;
+        let admitted = self.admit(now, owner) + timing.controller_overhead;
         let page_bytes = self.page_bytes;
         let die = &mut self.dies[addr.die];
         let completion = match op {
@@ -217,7 +278,7 @@ impl ChannelController {
                 erase.end
             }
         };
-        self.record_completion(completion);
+        self.record_completion(completion, owner);
         Ok(completion)
     }
 
@@ -288,9 +349,17 @@ mod tests {
         let mut c = controller();
         let addr = PhysicalPageAddr::new(0, 0, 0, 0);
         let wrote = c
-            .execute(SimTime::ZERO, ChannelOp::Program, addr, None)
+            .execute(
+                SimTime::ZERO,
+                ChannelOp::Program,
+                addr,
+                OwnerId::Unattributed,
+                None,
+            )
             .unwrap();
-        let read = c.execute(wrote, ChannelOp::Read, addr, None).unwrap();
+        let read = c
+            .execute(wrote, ChannelOp::Read, addr, OwnerId::Unattributed, None)
+            .unwrap();
         assert!(read > wrote);
         assert_eq!(c.stats().programs, 1);
         assert_eq!(c.stats().reads, 1);
@@ -314,14 +383,30 @@ mod tests {
         let a0 = PhysicalPageAddr::new(0, 0, 0, 0);
         let a1 = PhysicalPageAddr::new(0, 1, 0, 0);
         let d0 = c
-            .execute(SimTime::ZERO, ChannelOp::Program, a0, None)
+            .execute(
+                SimTime::ZERO,
+                ChannelOp::Program,
+                a0,
+                OwnerId::Unattributed,
+                None,
+            )
             .unwrap();
         let d1 = c
-            .execute(SimTime::ZERO, ChannelOp::Program, a1, None)
+            .execute(
+                SimTime::ZERO,
+                ChannelOp::Program,
+                a1,
+                OwnerId::Unattributed,
+                None,
+            )
             .unwrap();
         let start = d0.max(d1);
-        let r0 = c.execute(start, ChannelOp::Read, a0, None).unwrap();
-        let r1 = c.execute(start, ChannelOp::Read, a1, None).unwrap();
+        let r0 = c
+            .execute(start, ChannelOp::Read, a0, OwnerId::Unattributed, None)
+            .unwrap();
+        let r1 = c
+            .execute(start, ChannelOp::Read, a1, OwnerId::Unattributed, None)
+            .unwrap();
         // Both reads sense in parallel; only the bus transfer serializes, so
         // the second completion trails the first by far less than a full
         // array read.
@@ -337,6 +422,7 @@ mod tests {
             SimTime::ZERO,
             ChannelOp::Erase,
             PhysicalPageAddr::new(0, 0, 1, 0),
+            OwnerId::Unattributed,
             None,
         )
         .unwrap();
@@ -355,11 +441,23 @@ mod tests {
         for p in 0..8 {
             let addr = PhysicalPageAddr::new(0, 0, 0, p);
             last_narrow = narrow
-                .execute(SimTime::ZERO, ChannelOp::Program, addr, None)
+                .execute(
+                    SimTime::ZERO,
+                    ChannelOp::Program,
+                    addr,
+                    OwnerId::Unattributed,
+                    None,
+                )
                 .unwrap();
             let addr = PhysicalPageAddr::new(0, 0, 0, p);
             last_wide = wide
-                .execute(SimTime::ZERO, ChannelOp::Program, addr, None)
+                .execute(
+                    SimTime::ZERO,
+                    ChannelOp::Program,
+                    addr,
+                    OwnerId::Unattributed,
+                    None,
+                )
                 .unwrap();
         }
         // With a single tag the controller admits commands one at a time, so
@@ -370,6 +468,114 @@ mod tests {
     }
 
     #[test]
+    fn owner_budget_caps_a_saturating_owner() {
+        // A single owner with budget 2 on a 4-tag queue: no matter how many
+        // commands it floods at t=0, it never holds more than 2 tags.
+        let geom = FlashGeometry::tiny_for_tests();
+        let timing = FlashTiming::fast_for_tests();
+        let mut c = ChannelController::new(0, &geom, timing, 1_000, 4);
+        c.set_qos_budgets(QosBudgets {
+            per_owner: Some(2),
+            background: Some(2),
+        });
+        let hog = OwnerId::Kernel(1);
+        for p in 0..8 {
+            c.execute(
+                SimTime::ZERO,
+                ChannelOp::Program,
+                PhysicalPageAddr::new(0, 0, 0, p),
+                hog,
+                None,
+            )
+            .unwrap();
+        }
+        assert!(
+            c.owner_peak_tags()[&hog] <= 2,
+            "owner exceeded its budget: {:?}",
+            c.owner_peak_tags()
+        );
+        // The queue itself never saw more than the owner's budget in
+        // flight either — the other two tags stayed free for other owners.
+        assert!(c.stats().peak_inbound_tags <= 2);
+    }
+
+    #[test]
+    fn two_budgeted_owners_interleave_fairly_on_a_shared_queue() {
+        // Two owners, budget 2 each, 4-tag queue, both flooding 8 programs
+        // at t=0 in strict alternation: admission must interleave them (no
+        // owner's whole burst finishes before the other's starts), both
+        // reach their 2-tag peak, and neither exceeds it.
+        let geom = FlashGeometry::tiny_for_tests();
+        let timing = FlashTiming::fast_for_tests();
+        let mut c = ChannelController::new(0, &geom, timing, 1_000, 4);
+        c.set_qos_budgets(QosBudgets {
+            per_owner: Some(2),
+            background: Some(2),
+        });
+        let a = OwnerId::Kernel(1);
+        let b = OwnerId::Kernel(2);
+        let mut completions: Vec<(SimTime, OwnerId)> = Vec::new();
+        for p in 0..8 {
+            for (owner, die_block) in [(a, 0), (b, 1)] {
+                let done = c
+                    .execute(
+                        SimTime::ZERO,
+                        ChannelOp::Program,
+                        PhysicalPageAddr::new(0, 0, die_block, p),
+                        owner,
+                        None,
+                    )
+                    .unwrap();
+                completions.push((done, owner));
+            }
+        }
+        assert_eq!(c.owner_peak_tags()[&a], 2);
+        assert_eq!(c.owner_peak_tags()[&b], 2);
+        // Fairness: order completions by time; the first half of the
+        // timeline must contain commands of both owners, i.e. the last
+        // completion of each owner's first four commands precedes the other
+        // owner's final completion.
+        completions.sort();
+        let first_half: Vec<OwnerId> = completions[..8].iter().map(|(_, o)| *o).collect();
+        assert!(first_half.contains(&a) && first_half.contains(&b));
+        let second_half: Vec<OwnerId> = completions[8..].iter().map(|(_, o)| *o).collect();
+        assert!(second_half.contains(&a) && second_half.contains(&b));
+    }
+
+    #[test]
+    fn unlimited_budgets_reproduce_untagged_admission() {
+        // The QoS default must be byte-identical to the pre-owner FIFO tag
+        // queue: identical command streams under different owner labels
+        // complete at identical instants when no budget is set.
+        let geom = FlashGeometry::tiny_for_tests();
+        let timing = FlashTiming::fast_for_tests();
+        let mut untagged = ChannelController::new(0, &geom, timing, 1_000, 2);
+        let mut tagged = ChannelController::new(0, &geom, timing, 1_000, 2);
+        for p in 0..8 {
+            let addr = PhysicalPageAddr::new(0, 0, 0, p);
+            let u = untagged
+                .execute(
+                    SimTime::ZERO,
+                    ChannelOp::Program,
+                    addr,
+                    OwnerId::Unattributed,
+                    None,
+                )
+                .unwrap();
+            let owner = if p % 2 == 0 {
+                OwnerId::Kernel(p as u32)
+            } else {
+                OwnerId::Gc
+            };
+            let t = tagged
+                .execute(SimTime::ZERO, ChannelOp::Program, addr, owner, None)
+                .unwrap();
+            assert_eq!(u, t, "page {p}");
+        }
+        assert_eq!(untagged.stats(), tagged.stats());
+    }
+
+    #[test]
     fn invalid_die_is_rejected() {
         let mut c = controller();
         let err = c
@@ -377,6 +583,7 @@ mod tests {
                 SimTime::ZERO,
                 ChannelOp::Read,
                 PhysicalPageAddr::new(0, 99, 0, 0),
+                OwnerId::Unattributed,
                 None,
             )
             .unwrap_err();
@@ -392,6 +599,7 @@ mod tests {
                 SimTime::ZERO,
                 ChannelOp::Program,
                 PhysicalPageAddr::new(0, 0, 0, p),
+                OwnerId::Unattributed,
                 None,
             )
             .unwrap();

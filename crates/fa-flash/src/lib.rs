@@ -17,7 +17,11 @@
 //! * [`backbone`] — the whole storage complex with the SRIO front-end; this
 //!   is the unit Flashvisor and Storengine talk to.
 //! * [`validindex`] — incremental backbone-wide valid-page accounting,
-//!   bucketed by valid count, driving O(1)–O(log n) GC victim selection.
+//!   bucketed by valid count, driving O(1)–O(log n) GC victim selection,
+//!   plus optional page-group accounting for complete group reclamation.
+//! * [`owner`] — owner identity ([`OwnerId`]) threaded from the
+//!   translation layer down to the channel tag queues, per-owner QoS
+//!   budgets, and per-owner statistics.
 //! * [`spec`] — the Table 1 default configuration.
 //!
 //! The model tracks *page state*, not page contents: what matters for the
@@ -29,6 +33,7 @@ pub mod controller;
 pub mod die;
 pub mod error;
 pub mod geometry;
+pub mod owner;
 pub mod spec;
 pub mod timing;
 pub mod validindex;
@@ -40,6 +45,7 @@ pub use controller::ChannelController;
 pub use die::{DieStats, FlashDie, PageState};
 pub use error::FlashError;
 pub use geometry::{FlashGeometry, PhysicalPageAddr};
+pub use owner::{OwnerId, OwnerStats, QosBudgets};
 pub use spec::backbone_spec_table1;
 pub use timing::FlashTiming;
 pub use validindex::ValidPageIndex;

@@ -1,0 +1,181 @@
+//! Owner identity and per-owner QoS on the flash data path.
+//!
+//! Every command entering the backbone carries an [`OwnerId`]: the kernel
+//! (application) whose data section the request serves, or one of the two
+//! storage-management streams (garbage collection, metadata journaling).
+//! The identity flows from the range locks Flashvisor already keeps — the
+//! cross-layer metadata idea of MetaSys — down to the channel controllers'
+//! tag queues, where two things happen with it:
+//!
+//! * **Isolation.** [`QosBudgets`] bounds how many commands one owner may
+//!   keep outstanding per channel. An over-budget owner's next command is
+//!   *deferred* until one of its own commands retires; other owners are
+//!   admitted past it instead of FIFO-stalling behind it (the lightweight
+//!   per-tenant flow control of SYSFLOW).
+//! * **Accounting.** Controllers and the backbone keep per-owner
+//!   [`OwnerStats`] — command counts, payload bytes, occupancy peaks, and
+//!   read latencies — so figures can show *who pays* for contention.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Who issued a flash command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OwnerId {
+    /// Foreground traffic of one kernel; the payload is the range-lock
+    /// owner id (the application id).
+    Kernel(u32),
+    /// Storengine garbage collection (migrations and erases).
+    Gc,
+    /// Storengine metadata journaling.
+    Journal,
+    /// Traffic not attributed to any owner (preloads, legacy paths).
+    Unattributed,
+}
+
+impl OwnerId {
+    /// Label used in reports and perf records.
+    pub fn label(self) -> String {
+        match self {
+            OwnerId::Kernel(id) => format!("kernel{id}"),
+            OwnerId::Gc => "gc".to_string(),
+            OwnerId::Journal => "journal".to_string(),
+            OwnerId::Unattributed => "unattributed".to_string(),
+        }
+    }
+
+    /// True for the two storage-management streams.
+    pub fn is_background(self) -> bool {
+        matches!(self, OwnerId::Gc | OwnerId::Journal)
+    }
+}
+
+impl fmt::Display for OwnerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Per-owner outstanding-command budgets at each channel's tag queue.
+/// `None` means unlimited — the default reproduces the untagged FIFO
+/// admission byte for byte.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QosBudgets {
+    /// Budget for each foreground owner ([`OwnerId::Kernel`] and
+    /// [`OwnerId::Unattributed`]).
+    pub per_owner: Option<usize>,
+    /// Budget shared semantics for the background streams ([`OwnerId::Gc`]
+    /// and [`OwnerId::Journal`]) — each stream individually holds at most
+    /// this many tags per channel.
+    pub background: Option<usize>,
+}
+
+impl QosBudgets {
+    /// Unlimited budgets: admission is the plain FIFO tag queue.
+    pub fn unlimited() -> Self {
+        QosBudgets::default()
+    }
+
+    /// The budget applying to `owner`, if any.
+    pub fn budget_for(&self, owner: OwnerId) -> Option<usize> {
+        if owner.is_background() {
+            self.background
+        } else {
+            self.per_owner
+        }
+    }
+}
+
+/// Aggregate per-owner statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct OwnerStats {
+    /// Pages read.
+    pub reads: u64,
+    /// Pages programmed.
+    pub programs: u64,
+    /// Blocks erased.
+    pub erases: u64,
+    /// Payload bytes moved for this owner (SRIO at the backbone, channel
+    /// bus at the controllers).
+    pub bytes: u64,
+    /// Sum of end-to-end read latencies, in nanoseconds.
+    pub read_latency_total_ns: u64,
+    /// Worst end-to-end read latency, in nanoseconds.
+    pub read_latency_max_ns: u64,
+    /// Peak simultaneous tag-queue occupancy this owner reached on any one
+    /// channel.
+    pub peak_tags: usize,
+}
+
+impl OwnerStats {
+    /// Total commands attributed to this owner.
+    pub fn commands(&self) -> u64 {
+        self.reads + self.programs + self.erases
+    }
+
+    /// Mean read latency in nanoseconds (0 when no reads completed).
+    pub fn read_latency_mean_ns(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.read_latency_total_ns as f64 / self.reads as f64
+        }
+    }
+
+    /// Folds another record into this one (cross-channel aggregation).
+    pub fn absorb(&mut self, other: &OwnerStats) {
+        self.reads += other.reads;
+        self.programs += other.programs;
+        self.erases += other.erases;
+        self.bytes += other.bytes;
+        self.read_latency_total_ns += other.read_latency_total_ns;
+        self.read_latency_max_ns = self.read_latency_max_ns.max(other.read_latency_max_ns);
+        self.peak_tags = self.peak_tags.max(other.peak_tags);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets_split_foreground_and_background() {
+        let q = QosBudgets {
+            per_owner: Some(4),
+            background: Some(2),
+        };
+        assert_eq!(q.budget_for(OwnerId::Kernel(7)), Some(4));
+        assert_eq!(q.budget_for(OwnerId::Unattributed), Some(4));
+        assert_eq!(q.budget_for(OwnerId::Gc), Some(2));
+        assert_eq!(q.budget_for(OwnerId::Journal), Some(2));
+        assert_eq!(QosBudgets::unlimited().budget_for(OwnerId::Gc), None);
+    }
+
+    #[test]
+    fn labels_and_aggregation() {
+        assert_eq!(OwnerId::Kernel(3).label(), "kernel3");
+        assert_eq!(OwnerId::Gc.to_string(), "gc");
+        assert!(OwnerId::Journal.is_background());
+        assert!(!OwnerId::Kernel(0).is_background());
+        let mut a = OwnerStats {
+            reads: 2,
+            read_latency_total_ns: 100,
+            read_latency_max_ns: 60,
+            peak_tags: 1,
+            ..Default::default()
+        };
+        let b = OwnerStats {
+            reads: 2,
+            erases: 1,
+            read_latency_total_ns: 300,
+            read_latency_max_ns: 200,
+            peak_tags: 3,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.commands(), 5);
+        assert_eq!(a.read_latency_max_ns, 200);
+        assert_eq!(a.peak_tags, 3);
+        assert!((a.read_latency_mean_ns() - 100.0).abs() < 1e-12);
+    }
+}

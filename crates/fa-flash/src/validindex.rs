@@ -20,7 +20,34 @@
 //! `die_mut`) bypasses the hooks; the property-test oracle recounts from
 //! page states to catch any such drift in paths that matter.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Optional page-group accounting layered over the per-block counters.
+///
+/// A *page group* is `pages_per_group` consecutive flat pages — the
+/// allocation unit of the translation layer above. The tracker answers the
+/// question the group-reclaim leak fix needs: *which groups did this erase
+/// make reusable?* It keeps per-group programmed/valid page counts plus,
+/// per block, the groups holding programmed pages in that block (a group
+/// stripes across channels, so it spans several blocks of one block row).
+/// When an erase clears a group's last programmed page anywhere on the
+/// device, the group lands in `fully_erased` for the caller to drain —
+/// including overwritten (unmapped) garbage groups that no migration ever
+/// recycled.
+#[derive(Debug, Clone)]
+struct GroupTracker {
+    pages_per_group: u64,
+    /// Programmed (not yet erased) pages per group.
+    programmed: Vec<u32>,
+    /// Valid pages per group.
+    valid: Vec<u32>,
+    /// Per block: group → (programmed, valid) pages of that group residing
+    /// in this block.
+    by_block: Vec<BTreeMap<u32, (u32, u32)>>,
+    /// Groups whose last programmed page an erase just cleared, pending a
+    /// drain by the reclaim path.
+    fully_erased: Vec<u64>,
+}
 
 /// Backbone-wide incremental valid-page accounting.
 #[derive(Debug, Clone)]
@@ -36,6 +63,8 @@ pub struct ValidPageIndex {
     /// Valid counts whose bucket is non-empty, for O(log n) minimum lookup.
     occupied: BTreeSet<u32>,
     total_valid: u64,
+    /// Page-group accounting, when enabled.
+    groups: Option<GroupTracker>,
 }
 
 impl ValidPageIndex {
@@ -49,7 +78,27 @@ impl ValidPageIndex {
             buckets: vec![BTreeSet::new(); pages_per_block + 1],
             occupied: BTreeSet::new(),
             total_valid: 0,
+            groups: None,
         }
+    }
+
+    /// Enables page-group accounting: `pages_per_group` consecutive flat
+    /// pages form one of `total_groups` allocation groups. Must be enabled
+    /// on an all-erased index (it is installed at construction time, before
+    /// any command runs).
+    pub fn enable_group_tracking(&mut self, pages_per_group: u64, total_groups: u64) {
+        self.groups = Some(GroupTracker {
+            pages_per_group: pages_per_group.max(1),
+            programmed: vec![0; total_groups as usize],
+            valid: vec![0; total_groups as usize],
+            by_block: vec![BTreeMap::new(); self.valid.len()],
+            fully_erased: Vec::new(),
+        });
+    }
+
+    /// True when page-group accounting is enabled.
+    pub fn tracks_groups(&self) -> bool {
+        self.groups.is_some()
     }
 
     fn garbage(&self, block: usize) -> u32 {
@@ -70,8 +119,9 @@ impl ValidPageIndex {
         }
     }
 
-    /// Records one page program (or preload) landing in `block`.
-    pub fn on_program(&mut self, block: u64) {
+    /// Records one page program (or preload) of flat page `flat` landing in
+    /// `block`.
+    pub fn on_program(&mut self, block: u64, flat: u64) {
         let b = block as usize;
         let had_garbage = self.garbage(b) > 0;
         if had_garbage {
@@ -83,10 +133,20 @@ impl ValidPageIndex {
         if had_garbage {
             self.bucket_insert(self.valid[b], block as u32);
         }
+        if let Some(t) = &mut self.groups {
+            let g = (flat / t.pages_per_group) as usize;
+            if g < t.programmed.len() {
+                t.programmed[g] += 1;
+                t.valid[g] += 1;
+                let entry = t.by_block[b].entry(g as u32).or_insert((0, 0));
+                entry.0 += 1;
+                entry.1 += 1;
+            }
+        }
     }
 
-    /// Records one page of `block` being superseded.
-    pub fn on_invalidate(&mut self, block: u64) {
+    /// Records the page at flat index `flat` of `block` being superseded.
+    pub fn on_invalidate(&mut self, block: u64, flat: u64) {
         let b = block as usize;
         if self.garbage(b) > 0 {
             self.bucket_remove(self.valid[b], block as u32);
@@ -94,6 +154,15 @@ impl ValidPageIndex {
         self.valid[b] -= 1;
         self.total_valid -= 1;
         self.bucket_insert(self.valid[b], block as u32);
+        if let Some(t) = &mut self.groups {
+            let g = (flat / t.pages_per_group) as usize;
+            if g < t.valid.len() {
+                t.valid[g] -= 1;
+                if let Some(entry) = t.by_block[b].get_mut(&(g as u32)) {
+                    entry.1 -= 1;
+                }
+            }
+        }
     }
 
     /// Records `block` being erased.
@@ -105,6 +174,60 @@ impl ValidPageIndex {
         self.total_valid -= self.valid[b] as u64;
         self.valid[b] = 0;
         self.programmed[b] = 0;
+        if let Some(t) = &mut self.groups {
+            for (g, (programmed, valid)) in std::mem::take(&mut t.by_block[b]) {
+                let g = g as usize;
+                t.programmed[g] -= programmed;
+                t.valid[g] -= valid;
+                if t.programmed[g] == 0 {
+                    // The erase cleared this group's last programmed page
+                    // anywhere on the device: it is reusable again.
+                    t.fully_erased.push(g as u64);
+                }
+            }
+        }
+    }
+
+    /// Drains the groups whose last programmed page an erase cleared since
+    /// the previous drain (empty without group tracking). The reclaim path
+    /// above returns the unmapped ones to the allocator — the fix for the
+    /// "erased but never recycled" overwrite-garbage leak.
+    pub fn take_fully_erased_groups(&mut self) -> Vec<u64> {
+        match &mut self.groups {
+            Some(t) => std::mem::take(&mut t.fully_erased),
+            None => Vec::new(),
+        }
+    }
+
+    /// The garbage groups currently resident in `block`: groups holding at
+    /// least one programmed page in the block but no valid page anywhere.
+    /// Empty without group tracking.
+    pub fn garbage_groups_in(&self, block: u64) -> Vec<u64> {
+        match &self.groups {
+            Some(t) => t.by_block[block as usize]
+                .keys()
+                .filter(|&&g| t.valid[g as usize] == 0)
+                .map(|&g| g as u64)
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Programmed (not yet erased) pages of group `g`, device-wide. Zero
+    /// without group tracking.
+    pub fn group_programmed_pages(&self, g: u64) -> u32 {
+        self.groups
+            .as_ref()
+            .and_then(|t| t.programmed.get(g as usize).copied())
+            .unwrap_or(0)
+    }
+
+    /// Valid pages of group `g`, device-wide. Zero without group tracking.
+    pub fn group_valid_pages(&self, g: u64) -> u32 {
+        self.groups
+            .as_ref()
+            .and_then(|t| t.valid.get(g as usize).copied())
+            .unwrap_or(0)
     }
 
     /// Valid pages currently held by `block`.
@@ -152,12 +275,12 @@ mod tests {
         let mut idx = ValidPageIndex::new(4, 8);
         // Fully valid blocks never appear as victims.
         for _ in 0..8 {
-            idx.on_program(0);
+            idx.on_program(0, 0);
         }
         assert_eq!(idx.valid_in(0), 8);
         assert_eq!(idx.min_valid_garbage_block(), None);
         // Invalidation makes block 0 reclaimable at valid level 7.
-        idx.on_invalidate(0);
+        idx.on_invalidate(0, 0);
         assert_eq!(idx.min_valid_garbage_block(), Some(0));
         assert_eq!(idx.garbage_in(0), 1);
         assert_eq!(idx.total_valid(), 7);
@@ -168,14 +291,14 @@ mod tests {
         let mut idx = ValidPageIndex::new(4, 8);
         for block in [1u64, 2, 3] {
             for _ in 0..4 {
-                idx.on_program(block);
+                idx.on_program(block, 0);
             }
         }
-        idx.on_invalidate(1); // 3 valid, 1 garbage
-        idx.on_invalidate(3); // 3 valid, 1 garbage
-        idx.on_invalidate(3);
-        idx.on_invalidate(3); // 1 valid, 3 garbage
-        idx.on_invalidate(2); // 3 valid, 1 garbage
+        idx.on_invalidate(1, 0); // 3 valid, 1 garbage
+        idx.on_invalidate(3, 0); // 3 valid, 1 garbage
+        idx.on_invalidate(3, 0);
+        idx.on_invalidate(3, 0); // 1 valid, 3 garbage
+        idx.on_invalidate(2, 0); // 3 valid, 1 garbage
         assert_eq!(idx.min_valid_garbage_block(), Some(3));
         idx.on_erase(3);
         assert_eq!(idx.valid_in(3), 0);
@@ -189,25 +312,73 @@ mod tests {
     fn erase_clears_membership_and_totals() {
         let mut idx = ValidPageIndex::new(2, 4);
         for _ in 0..4 {
-            idx.on_program(1);
+            idx.on_program(1, 0);
         }
-        idx.on_invalidate(1);
+        idx.on_invalidate(1, 0);
         idx.on_erase(1);
         assert_eq!(idx.min_valid_garbage_block(), None);
         assert_eq!(idx.total_valid(), 0);
         // The block is reusable from scratch.
-        idx.on_program(1);
+        idx.on_program(1, 0);
         assert_eq!(idx.valid_in(1), 1);
+    }
+
+    #[test]
+    fn group_tracking_reports_fully_erased_groups() {
+        // 2 blocks × 4 pages, 2-page groups: group g covers flat pages
+        // 2g..2g+2. Treat flat pages 0..4 as living in block 0 and 4..8 in
+        // block 1 (the caller supplies the mapping).
+        let mut idx = ValidPageIndex::new(2, 4);
+        idx.enable_group_tracking(2, 4);
+        assert!(idx.tracks_groups());
+        for flat in 0..4u64 {
+            idx.on_program(0, flat);
+        }
+        assert_eq!(idx.group_programmed_pages(0), 2);
+        assert_eq!(idx.group_valid_pages(1), 2);
+        // Overwrite group 0: both its pages go invalid → it is garbage.
+        idx.on_invalidate(0, 0);
+        idx.on_invalidate(0, 1);
+        assert_eq!(idx.group_valid_pages(0), 0);
+        assert_eq!(idx.garbage_groups_in(0), vec![0]);
+        // Nothing is reclaimable before the erase.
+        assert!(idx.take_fully_erased_groups().is_empty());
+        // The erase clears both resident groups; both report fully erased
+        // (group 1 was still valid — the caller filters mapped groups).
+        idx.on_erase(0);
+        let mut erased = idx.take_fully_erased_groups();
+        erased.sort_unstable();
+        assert_eq!(erased, vec![0, 1]);
+        // The drain is one-shot.
+        assert!(idx.take_fully_erased_groups().is_empty());
+        assert_eq!(idx.group_programmed_pages(0), 0);
+    }
+
+    #[test]
+    fn group_spanning_two_blocks_reclaims_only_after_both_erases() {
+        // Group 0's two pages: flat 0 in block 0, flat 1 in block 1 — the
+        // striped layout where a group crosses a block row.
+        let mut idx = ValidPageIndex::new(2, 4);
+        idx.enable_group_tracking(2, 2);
+        idx.on_program(0, 0);
+        idx.on_program(1, 1);
+        idx.on_invalidate(0, 0);
+        idx.on_invalidate(1, 1);
+        idx.on_erase(0);
+        // One page still programmed in block 1: not reclaimable yet.
+        assert!(idx.take_fully_erased_groups().is_empty());
+        idx.on_erase(1);
+        assert_eq!(idx.take_fully_erased_groups(), vec![0]);
     }
 
     #[test]
     fn reprogramming_a_garbage_block_moves_its_bucket() {
         let mut idx = ValidPageIndex::new(2, 8);
         for _ in 0..3 {
-            idx.on_program(0);
+            idx.on_program(0, 0);
         }
-        idx.on_invalidate(0); // 2 valid, 1 garbage
-        idx.on_program(0); // 3 valid, 1 garbage — bucket must move 2 → 3
+        idx.on_invalidate(0, 0); // 2 valid, 1 garbage
+        idx.on_program(0, 0); // 3 valid, 1 garbage — bucket must move 2 → 3
         assert_eq!(idx.valid_in(0), 3);
         assert_eq!(idx.garbage_in(0), 1);
         assert_eq!(idx.min_valid_garbage_block(), Some(0));

@@ -5,6 +5,7 @@
 //! engine factors out the mechanical parts: popping events in time order,
 //! advancing the clock monotonically, and bounding the run.
 
+use crate::deferred::DeferredWorkQueue;
 use crate::event::EventQueue;
 use crate::time::SimTime;
 
@@ -44,6 +45,9 @@ pub enum StepOutcome {
 #[derive(Debug)]
 pub struct Engine<E> {
     queue: EventQueue<E>,
+    /// Deferred background work: delivered by the same `run` loop, but
+    /// foreground events win ties at the same instant.
+    background: DeferredWorkQueue<E>,
     now: SimTime,
     max_steps: u64,
     horizon: SimTime,
@@ -68,6 +72,7 @@ impl<E> Engine<E> {
     pub fn with_capacity(capacity: usize) -> Self {
         Engine {
             queue: EventQueue::with_capacity(capacity),
+            background: DeferredWorkQueue::new(),
             now: SimTime::ZERO,
             max_steps: u64::MAX,
             horizon: SimTime::MAX,
@@ -130,9 +135,31 @@ impl<E> Engine<E> {
             }));
     }
 
-    /// Number of pending events.
+    /// Defers `event` as *background* work starting no earlier than `at`:
+    /// it is dispatched by the same [`Engine::run`] loop, but a foreground
+    /// event scheduled for the same instant is always delivered first
+    /// (storage management yields to the data path at ties).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current simulation time.
+    pub fn defer(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "background event scheduled in the past: {at} < {}",
+            self.now
+        );
+        self.background.push(at, event);
+    }
+
+    /// Number of pending foreground events.
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Number of pending deferred background events.
+    pub fn pending_background(&self) -> usize {
+        self.background.len()
     }
 
     /// Total number of events dispatched so far.
@@ -154,12 +181,28 @@ impl<E> Engine<E> {
             if steps >= self.max_steps {
                 return StepOutcome::BudgetExhausted;
             }
-            match self.queue.peek_time() {
+            // Merge the foreground queue and the deferred background work:
+            // earliest timestamp wins, foreground first on ties.
+            let background_first = match (self.queue.peek_time(), self.background.peek_time()) {
+                (Some(fg), Some(bg)) => bg < fg,
+                (None, Some(_)) => true,
+                _ => false,
+            };
+            let next = if background_first {
+                self.background.peek_time()
+            } else {
+                self.queue.peek_time()
+            };
+            match next {
                 None => return StepOutcome::Drained,
                 Some(t) if t > self.horizon => return StepOutcome::HorizonReached,
                 Some(_) => {}
             }
-            let (t, ev) = self.queue.pop().expect("peeked event vanished");
+            let (t, ev) = if background_first {
+                self.background.pop().expect("peeked background vanished")
+            } else {
+                self.queue.pop().expect("peeked event vanished")
+            };
             debug_assert!(t >= self.now, "event queue went backwards in time");
             self.now = t;
             handler(t, ev, &mut self.queue);
@@ -238,5 +281,32 @@ mod tests {
         engine.schedule(SimTime::from_ns(10), 1);
         engine.run(|_, _, _| {});
         engine.schedule_many([(SimTime::from_ns(5), 2)]);
+    }
+
+    #[test]
+    fn deferred_background_events_interleave_and_yield_ties() {
+        let mut engine: Engine<&'static str> = Engine::new();
+        engine.schedule(SimTime::from_ns(10), "fg-10");
+        engine.schedule(SimTime::from_ns(30), "fg-30");
+        engine.defer(SimTime::from_ns(5), "bg-5");
+        engine.defer(SimTime::from_ns(10), "bg-10");
+        assert_eq!(engine.pending(), 2);
+        assert_eq!(engine.pending_background(), 2);
+        let mut order = Vec::new();
+        let outcome = engine.run(|_, ev, _| order.push(ev));
+        assert_eq!(outcome, StepOutcome::Drained);
+        // Background runs when strictly earlier; foreground wins the tie
+        // at t=10.
+        assert_eq!(order, vec!["bg-5", "fg-10", "bg-10", "fg-30"]);
+        assert_eq!(engine.pending_background(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn deferring_in_the_past_panics() {
+        let mut engine: Engine<u8> = Engine::new();
+        engine.schedule(SimTime::from_ns(10), 1);
+        engine.run(|_, _, _| {});
+        engine.defer(SimTime::from_ns(5), 2);
     }
 }

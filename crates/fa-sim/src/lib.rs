@@ -9,6 +9,8 @@
 //! * [`event`] — a generic, deterministic event queue.
 //! * [`engine`] — a small driver that repeatedly pops events and hands them
 //!   to a user-supplied dispatcher.
+//! * [`deferred`] — time-ordered background work (storage management) that
+//!   drivers merge with their foreground completion streams.
 //! * [`stats`] — counters, histograms, busy-time trackers and time series
 //!   used to produce the paper's figures.
 //! * [`resource`] — serialized-bandwidth and FIFO-server resource models
@@ -30,6 +32,7 @@
 //! assert_eq!(ev, "early");
 //! ```
 
+pub mod deferred;
 pub mod engine;
 pub mod event;
 pub mod resource;
@@ -37,6 +40,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use deferred::DeferredWorkQueue;
 pub use engine::{Engine, StepOutcome};
 pub use event::EventQueue;
 pub use resource::{FifoServer, SerializedResource};

@@ -139,6 +139,72 @@ fn check_invariants(v: &Flashvisor) -> Result<(), String> {
         }
     }
     prop_assert_eq!(occupancy, per_class.as_slice());
+
+    // 7. Group tracking vs brute force, and the no-leak invariant: recount
+    //    every group's programmed/valid pages from the die page states.
+    //    A *leaked* group would be simultaneously unmapped, absent from
+    //    the free pool, and fully erased — space no path can ever reach
+    //    again. The group-reclaim completeness fix guarantees erases
+    //    return such groups to the allocator, so the combination must
+    //    never exist.
+    let pages_per_group = config.pages_per_group();
+    let index = v.backbone().valid_index();
+    for g in 0..total_groups {
+        let mut programmed = 0u32;
+        let mut valid = 0u32;
+        for i in 0..pages_per_group {
+            let flat = g * pages_per_group + i;
+            if flat >= geometry.total_pages() {
+                continue;
+            }
+            let addr = geometry.flat_to_addr(flat);
+            let die_ref = v
+                .backbone()
+                .channel(addr.channel)
+                .unwrap()
+                .die(addr.die)
+                .unwrap();
+            match die_ref.page_state(addr.block, addr.page) {
+                Some(PageState::Valid) => {
+                    programmed += 1;
+                    valid += 1;
+                }
+                Some(PageState::Invalid) => programmed += 1,
+                _ => {}
+            }
+        }
+        prop_assert_eq!(index.group_programmed_pages(g), programmed);
+        prop_assert_eq!(index.group_valid_pages(g), valid);
+        let unmapped = !mapped.contains(&g);
+        let leaked = unmapped && !free_set.contains(&g) && programmed == 0;
+        prop_assert!(
+            !leaked,
+            "group {} leaked: unmapped, not free, fully erased",
+            g
+        );
+    }
+
+    // 8. Per-owner attribution is complete: summing the owner-tagged
+    //    command counts and payload bytes reproduces the untagged backbone
+    //    totals exactly.
+    let owner_stats = v.backbone().owner_stats();
+    let totals = v.backbone().stats();
+    prop_assert_eq!(
+        owner_stats.values().map(|o| o.reads).sum::<u64>(),
+        totals.reads
+    );
+    prop_assert_eq!(
+        owner_stats.values().map(|o| o.programs).sum::<u64>(),
+        totals.programs
+    );
+    prop_assert_eq!(
+        owner_stats.values().map(|o| o.erases).sum::<u64>(),
+        totals.erases
+    );
+    prop_assert_eq!(
+        owner_stats.values().map(|o| o.bytes).sum::<u64>(),
+        totals.srio_bytes
+    );
     Ok(())
 }
 
