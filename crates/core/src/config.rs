@@ -73,13 +73,21 @@ pub struct FlashAbacusConfig {
     /// Where the free-space manager places newly allocated page groups.
     /// `FirstFree` (the default) reproduces the log-structured cursor
     /// allocator exactly; `ChannelStriped` round-robins across the
-    /// channel/die stripe classes.
+    /// channel/die stripe classes; `LeastWorn` allocates from the block
+    /// row with the fewest accumulated erase cycles.
     pub placement: PlacementPolicy,
     /// How Storengine picks its GC victim block. `RoundRobin` (the
     /// default) is the paper's cheap §4.3 policy; `GreedyMinValid` uses
     /// the incremental valid-page index to pick the block with the fewest
-    /// pages to migrate.
+    /// pages to migrate; `CostBenefit` maximizes the classic
+    /// `age × garbage / valid` score over the same index.
     pub gc_victim: GcVictimPolicy,
+    /// Hot/cold separation: a logical group overwritten at least this many
+    /// times is classified *hot*, and its writes are steered to dedicated
+    /// active blocks so cold blocks stop absorbing churn. `None` (the
+    /// default) disables the classification and reproduces the unified
+    /// write stream exactly.
+    pub hot_overwrite_threshold: Option<u32>,
     /// Fraction of free page groups below which Storengine starts
     /// reclaiming blocks.
     pub gc_low_watermark: f64,
@@ -111,6 +119,7 @@ impl FlashAbacusConfig {
             endurance_cycles: fa_flash::spec::TLC_ENDURANCE_CYCLES,
             placement: PlacementPolicy::FirstFree,
             gc_victim: GcVictimPolicy::RoundRobin,
+            hot_overwrite_threshold: None,
             gc_low_watermark: 0.10,
             journal_interval: SimDuration::from_ms(100),
             buffered_writes: true,
@@ -145,6 +154,7 @@ impl FlashAbacusConfig {
             endurance_cycles: 1_000,
             placement: PlacementPolicy::FirstFree,
             gc_victim: GcVictimPolicy::RoundRobin,
+            hot_overwrite_threshold: None,
             gc_low_watermark: 0.20,
             journal_interval: SimDuration::from_ms(1),
             buffered_writes: true,
@@ -182,6 +192,17 @@ impl FlashAbacusConfig {
             (victim_index * pages_per_block) / pages_per_group,
             ((victim_index + 1) * pages_per_block).div_ceil(pages_per_group),
         )
+    }
+
+    /// The within-die block row reserved for Storengine's metadata journal
+    /// (the highest-numbered block of every die; see
+    /// [`crate::storengine::Storengine::journal`]), or `None` when the
+    /// geometry is too small to spare a row. Flashvisor fences this row's
+    /// group range off in the free-space manager so the data cursor can
+    /// never allocate into it, and GC never picks it as a victim.
+    pub fn journal_metadata_row(&self) -> Option<u64> {
+        let blocks_per_die = self.flash_geometry.blocks_per_die() as u64;
+        (blocks_per_die > 1).then_some(blocks_per_die - 1)
     }
 
     /// The `[low, high)` range of page groups whose pages fall inside

@@ -17,6 +17,7 @@ use fa_platform::mem::Scratchpad;
 use fa_sim::resource::FifoServer;
 use fa_sim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 /// Statistics kept by Flashvisor.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -34,6 +35,50 @@ pub struct FlashvisorStats {
     /// Page groups whose old physical location was invalidated by an
     /// overwrite.
     pub overwritten_groups: u64,
+    /// Group writes whose logical group was classified *hot* (overwrite
+    /// count at or above the configured threshold).
+    pub hot_group_writes: u64,
+    /// Group writes whose logical group was classified cold (or hot/cold
+    /// separation is disabled).
+    pub cold_group_writes: u64,
+    /// Hot group writes actually served from the dedicated hot active
+    /// blocks (the remainder fell back to the shared allocator because the
+    /// device was too full to refill the hot reserve).
+    pub hot_steered_writes: u64,
+}
+
+impl FlashvisorStats {
+    /// Fraction of hot-classified writes that landed on the dedicated hot
+    /// active blocks; 0 when no write was classified hot.
+    pub fn hot_steer_rate(&self) -> f64 {
+        if self.hot_group_writes == 0 {
+            0.0
+        } else {
+            self.hot_steered_writes as f64 / self.hot_group_writes as f64
+        }
+    }
+}
+
+/// Erase-cycle statistics over the *data* blocks (the journal's reserved
+/// metadata row is excluded — its wear is journal cadence, not placement
+/// quality). The single definition behind `RunOutcome`'s wear metrics,
+/// the policy-ablation figure, and the oracle's wear checks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct WearSummary {
+    /// Fewest erase cycles any data block absorbed.
+    pub min_erases: u64,
+    /// Most erase cycles any data block absorbed.
+    pub max_erases: u64,
+    /// Population standard deviation of per-data-block erase cycles.
+    pub stddev_erases: f64,
+}
+
+impl WearSummary {
+    /// `max − min`: the endurance-headroom spread wear-aware placement
+    /// exists to narrow.
+    pub fn spread(&self) -> u64 {
+        self.max_erases - self.min_erases
+    }
 }
 
 /// Completion information for a data-section transfer.
@@ -68,6 +113,14 @@ pub struct Flashvisor {
     reverse: Vec<Option<u64>>,
     /// Incremental free-group structure and placement policy.
     freespace: FreeSpaceManager,
+    /// Overwrites absorbed per *logical* group — the cross-layer metadata
+    /// hot/cold separation classifies on (the global
+    /// `overwritten_groups` stat is the sum of this vector).
+    overwrite_counts: Vec<u32>,
+    /// Dedicated active blocks for hot data: physical groups pulled from
+    /// the allocator one block row at a time and handed only to
+    /// hot-classified writes, so cold rows stop absorbing churn.
+    hot_reserve: VecDeque<u64>,
     locks: RangeLockTable,
     /// Flashvisor's own LWP time: translations and scheduling decisions
     /// serialize here.
@@ -93,19 +146,29 @@ impl Flashvisor {
         backbone.enable_group_tracking(config.pages_per_group());
         backbone.set_qos_budgets(config.qos.budgets());
         let total_groups = config.total_page_groups();
-        let freespace = FreeSpaceManager::new(
+        let mut freespace = FreeSpaceManager::new(
             total_groups,
             config.pages_per_group(),
             config.flash_geometry.channels,
             config.flash_geometry.dies_per_channel(),
+            config.flash_geometry.pages_per_block,
             config.placement,
         );
+        // Fence the journal's metadata row off from the data allocator: on
+        // a nearly-full device the cursor used to reach it, programs
+        // failed, and the journal's recycle path erased under live data.
+        if let Some(row) = config.journal_metadata_row() {
+            let (low, high) = config.block_row_group_range(row);
+            freespace.reserve_range(low, high);
+        }
         Flashvisor {
             config,
             backbone,
             mapping: vec![None; total_groups as usize],
             reverse: vec![None; total_groups as usize],
             freespace,
+            overwrite_counts: vec![0; total_groups as usize],
+            hot_reserve: VecDeque::new(),
             locks: RangeLockTable::new(),
             cpu: FifoServer::new("flashvisor"),
             dirty_mapping_entries: 0,
@@ -256,6 +319,7 @@ impl Flashvisor {
     /// overwritten garbage groups no migration ever recycled. Groups still
     /// mapped are left alone. Returns how many groups were newly freed.
     pub fn reclaim_fully_erased(&mut self) -> u64 {
+        self.sync_wear();
         let mut reclaimed = 0;
         for pg in self.backbone.take_fully_erased_groups() {
             if self.logical_group_mapped_to(pg).is_none() && !self.freespace.is_free(pg) {
@@ -266,11 +330,58 @@ impl Flashvisor {
         reclaimed
     }
 
+    /// Forwards the block erases the backbone absorbed since the previous
+    /// drain into the free-space manager's per-row wear ledger, keeping the
+    /// `LeastWorn` min-wear index current without ever recounting erase
+    /// cycles from the dies. A no-op (and O(1)) when nothing was erased.
+    fn sync_wear(&mut self) {
+        let blocks_per_die = self.config.flash_geometry.blocks_per_die() as u64;
+        for block in self.backbone.take_erased_blocks() {
+            self.freespace.note_block_erase(block % blocks_per_die);
+        }
+    }
+
     fn allocate_physical_group(&mut self) -> Result<u64, FaError> {
-        self.freespace.allocate().ok_or(FaError::OutOfFlashSpace {
-            requested: 1,
-            available: 0,
-        })
+        self.sync_wear();
+        self.freespace
+            .allocate()
+            // The shared pool ran dry: hand back a group parked in the hot
+            // reserve rather than failing with space still on the device.
+            .or_else(|| self.hot_reserve.pop_front())
+            .ok_or(FaError::OutOfFlashSpace {
+                requested: 1,
+                available: 0,
+            })
+    }
+
+    /// Allocates a destination for a hot-classified write: the front of the
+    /// dedicated hot reserve, refilled one block *row's* worth of groups at
+    /// a time — the row is GC's reclaim unit, so hot churn fills whole rows
+    /// that later erase with almost nothing valid left to migrate. Falls
+    /// back to the shared allocator (unsteered) when the device is too full
+    /// to refill.
+    fn allocate_hot_group(&mut self) -> Result<u64, FaError> {
+        if self.hot_reserve.is_empty() {
+            self.sync_wear();
+            let geometry = self.config.flash_geometry;
+            let row_pages = geometry.pages_per_block as u64
+                * geometry.channels as u64
+                * geometry.dies_per_channel() as u64;
+            let batch = (row_pages / self.config.pages_per_group()).max(1);
+            for _ in 0..batch {
+                match self.freespace.allocate() {
+                    Some(g) => self.hot_reserve.push_back(g),
+                    None => break,
+                }
+            }
+        }
+        match self.hot_reserve.pop_front() {
+            Some(g) => {
+                self.stats.hot_steered_writes += 1;
+                Ok(g)
+            }
+            None => self.allocate_physical_group(),
+        }
     }
 
     /// Looks up the mapping slot of a logical group, rejecting addresses
@@ -400,8 +511,20 @@ impl Flashvisor {
                     }
                 }
                 self.stats.overwritten_groups += 1;
+                self.overwrite_counts[lg as usize] =
+                    self.overwrite_counts[lg as usize].saturating_add(1);
             }
-            let pg = self.allocate_physical_group()?;
+            // Hot/cold separation: a logical group overwritten at least
+            // `hot_overwrite_threshold` times draws its destination from
+            // the dedicated hot active blocks.
+            let hot = self.is_hot_group(lg);
+            let pg = if hot {
+                self.stats.hot_group_writes += 1;
+                self.allocate_hot_group()?
+            } else {
+                self.stats.cold_group_writes += 1;
+                self.allocate_physical_group()?
+            };
             let batch = match self.backbone.submit_batch(
                 cursor,
                 (0..pages).map(|i| FlashCommand::program(geometry.flat_to_addr(pg * pages + i))),
@@ -483,6 +606,57 @@ impl Flashvisor {
         }
     }
 
+    /// Overwrites absorbed by logical group `lg` since the run started.
+    pub fn overwrite_count(&self, lg: u64) -> u32 {
+        self.overwrite_counts
+            .get(lg as usize)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// True when logical group `lg` is classified *hot*: its overwrite
+    /// count reached the configured threshold. Always false when hot/cold
+    /// separation is disabled.
+    pub fn is_hot_group(&self, lg: u64) -> bool {
+        match self.config.hot_overwrite_threshold {
+            Some(threshold) => self.overwrite_count(lg) >= threshold,
+            None => false,
+        }
+    }
+
+    /// The physical groups currently parked in the hot reserve (dedicated
+    /// active blocks awaiting hot writes): allocated from the free
+    /// structure but not yet mapped. Property-test oracle surface.
+    pub fn hot_reserved_groups(&self) -> Vec<u64> {
+        self.hot_reserve.iter().copied().collect()
+    }
+
+    /// Erase-cycle statistics over the data blocks, excluding the
+    /// journal's reserved metadata row.
+    pub fn data_block_wear(&self) -> WearSummary {
+        let blocks_per_die = self.config.flash_geometry.blocks_per_die();
+        let journal_block = self.config.journal_metadata_row();
+        let wear: Vec<u64> = self
+            .backbone
+            .block_erase_counts()
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| Some((i % blocks_per_die) as u64) != journal_block)
+            .map(|(_, c)| c)
+            .collect();
+        if wear.is_empty() {
+            return WearSummary::default();
+        }
+        let mean = wear.iter().sum::<u64>() as f64 / wear.len() as f64;
+        WearSummary {
+            min_erases: wear.iter().copied().min().unwrap_or(0),
+            max_erases: wear.iter().copied().max().unwrap_or(0),
+            stddev_erases: (wear.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>()
+                / wear.len() as f64)
+                .sqrt(),
+        }
+    }
+
     /// The logical group currently mapped to physical group `pg`, filtered
     /// through the forward mapping so stale reverse entries never leak out.
     pub fn logical_group_mapped_to(&self, pg: u64) -> Option<u64> {
@@ -540,6 +714,10 @@ impl Flashvisor {
                 .all(|pg| self.logical_group_mapped_to(pg).is_none()),
             "reclaiming a range that still holds mapped groups"
         );
+        // Hot-reserved groups in the erased range go back through the free
+        // structure with the rest of the row; keeping them in the reserve
+        // too would alias the same group to two owners.
+        self.hot_reserve.retain(|g| *g < low || *g >= high);
         self.freespace.reclaim_range(low, high)
     }
 
@@ -554,7 +732,10 @@ impl Flashvisor {
     /// group in `[low, high)`: a row-coherent GC pass must not program
     /// relocated data into the very row it is about to erase. Groups
     /// popped from inside the range are handed straight back to the free
-    /// structure.
+    /// structure. When the shared pool has nothing outside the row, a
+    /// group parked in the hot reserve is used instead — GC must never
+    /// starve (and abort the run) while unmapped space merely sits staged
+    /// for future hot writes.
     pub fn allocate_group_for_gc_excluding(&mut self, low: u64, high: u64) -> Option<u64> {
         let mut skipped = Vec::new();
         let picked = loop {
@@ -566,7 +747,21 @@ impl Flashvisor {
         for g in skipped {
             self.freespace.recycle(g);
         }
-        picked
+        picked.or_else(|| {
+            let pos = self
+                .hot_reserve
+                .iter()
+                .position(|g| *g < low || *g >= high)?;
+            self.hot_reserve.remove(pos)
+        })
+    }
+
+    /// Groups available to any allocation path: the free pool plus the
+    /// groups staged in the hot reserve. The GC abort guards check this —
+    /// not just [`Flashvisor::free_physical_groups`] — so a run is never
+    /// declared out of space while unmapped groups sit in the reserve.
+    pub fn available_groups(&self) -> u64 {
+        self.freespace.free_count() + self.hot_reserve.len() as u64
     }
 
     /// Size of the mapping table in bytes (scratchpad footprint).
@@ -672,13 +867,19 @@ mod tests {
         let total = config.total_page_groups();
         let mut v = Flashvisor::new(config);
         let mut sp = Scratchpad::new(&PlatformSpec::paper_prototype());
-        assert_eq!(v.free_physical_groups(), total);
-        // Fill the whole logical space, consuming every physical group.
+        // The journal's metadata row is fenced off from the data allocator,
+        // so the writable capacity is total minus the reserved row.
+        let reserved = v.freespace().reserved_count();
+        assert!(reserved > 0);
+        let writable = total - reserved;
+        assert_eq!(v.free_physical_groups(), writable);
+        // Fill the writable space, consuming every allocatable group.
         let group_bytes = config.page_group_bytes;
-        v.write_section(SimTime::ZERO, 0, total * group_bytes, &mut sp)
+        v.write_section(SimTime::ZERO, 0, writable * group_bytes, &mut sp)
             .unwrap();
         assert_eq!(v.free_physical_groups(), 0);
-        // Overwriting any group now needs a fresh physical group and fails.
+        // Overwriting any group now needs a fresh physical group and fails
+        // cleanly — the cursor never spills into the reserved journal row.
         let res = v.write_section(SimTime::from_ms(1), 0, group_bytes, &mut sp);
         assert!(matches!(res, Err(FaError::OutOfFlashSpace { .. })));
         // Addresses beyond the virtualized capacity are reported as unmapped.
@@ -687,6 +888,39 @@ mod tests {
         // Recycling a group makes one write possible again.
         v.recycle_group(0);
         assert_eq!(v.free_physical_groups(), 1);
+    }
+
+    #[test]
+    fn journal_row_is_fenced_even_when_the_device_fills() {
+        // The journal/data collision fix: fill the device completely, then
+        // journal repeatedly enough to force metadata-block recycling. The
+        // journal's erase-and-rewrite path must keep working (its row was
+        // never allocated to data), and no data mapping may point into the
+        // reserved row.
+        let config = FlashAbacusConfig::tiny_for_tests(SchedulerPolicy::IntraO3);
+        let mut v = Flashvisor::new(config);
+        let mut s = crate::storengine::Storengine::new(config);
+        let mut sp = Scratchpad::new(&PlatformSpec::paper_prototype());
+        let writable = v.free_physical_groups();
+        v.write_section(
+            SimTime::ZERO,
+            0,
+            writable * config.page_group_bytes,
+            &mut sp,
+        )
+        .unwrap();
+        assert_eq!(v.free_physical_groups(), 0);
+        for i in 0..80u64 {
+            s.journal(SimTime::from_ms(2 * i), &mut v)
+                .expect("journaling survives a full device");
+        }
+        let (jlow, jhigh) = config.block_row_group_range(config.journal_metadata_row().unwrap());
+        for (_, pg) in v.mapped_groups() {
+            assert!(
+                pg < jlow || pg >= jhigh,
+                "data group {pg} mapped inside the reserved journal row"
+            );
+        }
     }
 
     #[test]

@@ -10,16 +10,55 @@
 //!
 //! Because pages stripe across channels first (see
 //! [`fa_flash::FlashGeometry::flat_to_addr`]), a page group's *stripe
-//! class* is the `(channel, die)` pair its leading page lands on.
-//! [`PlacementPolicy::FirstFree`] reproduces the log-structured cursor +
-//! recycled-FIFO allocator byte for byte; it is the default and keeps all
-//! recorded figure output identical. [`PlacementPolicy::ChannelStriped`]
-//! round-robins allocations across the stripe classes, spreading
-//! consecutive groups over the channel/die fan-out when groups are
-//! narrower than the full die array.
+//! class* is the `(channel, die)` pair its leading page lands on, and its
+//! *block row* is the within-die erase-block index its leading page falls
+//! in (block `r` of every channel and die — the unit GC erases).
+//!
+//! Three placement policies share the structure:
+//!
+//! * [`PlacementPolicy::FirstFree`] reproduces the log-structured cursor +
+//!   recycled-FIFO allocator byte for byte; it is the default and keeps all
+//!   recorded figure output identical.
+//! * [`PlacementPolicy::ChannelStriped`] round-robins allocations across
+//!   the stripe classes, spreading consecutive groups over the channel/die
+//!   fan-out when groups are narrower than the full die array.
+//! * [`PlacementPolicy::LeastWorn`] allocates from the block row with the
+//!   fewest accumulated erase cycles. The wear ledger is maintained
+//!   *incrementally*: every block erase the backbone reports bumps one row
+//!   counter ([`FreeSpaceManager::note_block_erase`]) and re-keys that row
+//!   in a `BTreeSet<(wear, row)>` index, so the min-wear pop is O(log rows)
+//!   and never recounts erase cycles from the dies.
+//!
+//! The manager can also *reserve* a group range outright
+//! ([`FreeSpaceManager::reserve_range`]): reserved groups never leave the
+//! manager, which is how the journal's metadata row is fenced off from the
+//! data allocator.
+//!
+//! # Examples
+//!
+//! ```
+//! use flashabacus::freespace::{FreeSpaceManager, PlacementPolicy};
+//!
+//! // 8 groups of 2 pages on a 2-channel, 1-die, 4-pages-per-block device:
+//! // each block row holds 4 groups (rows are groups 0..4 and 4..8).
+//! let mut m = FreeSpaceManager::new(8, 2, 2, 1, 4, PlacementPolicy::LeastWorn);
+//! assert_eq!(m.row_of_group(5), 1);
+//!
+//! // Row 0 absorbs two block erases; the min-wear policy now starts
+//! // allocating from row 1.
+//! m.note_block_erase(0);
+//! m.note_block_erase(0);
+//! assert_eq!(m.row_wear(), &[2, 0]);
+//! assert_eq!(m.allocate(), Some(4));
+//!
+//! // Reserving a range fences it from allocation entirely.
+//! m.reserve_range(6, 8);
+//! assert_eq!(m.free_count(), 5);
+//! assert!(m.is_reserved(7));
+//! ```
 
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 
 /// Which free group the allocator hands to the next write.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -31,6 +70,11 @@ pub enum PlacementPolicy {
     /// Round-robin across stripe classes (the `(channel, die)` of each
     /// group's leading page), FIFO within a class.
     ChannelStriped,
+    /// Wear-aware: allocate from the block row with the fewest accumulated
+    /// erase cycles (ascending group order within the row), so erase wear
+    /// levels across the device instead of piling onto the rows the
+    /// recycled-FIFO order happens to favour.
+    LeastWorn,
 }
 
 impl PlacementPolicy {
@@ -39,12 +83,23 @@ impl PlacementPolicy {
         match self {
             PlacementPolicy::FirstFree => "FirstFree",
             PlacementPolicy::ChannelStriped => "ChannelStriped",
+            PlacementPolicy::LeastWorn => "LeastWorn",
         }
+    }
+
+    /// Every placement policy, in report order.
+    pub fn all() -> [PlacementPolicy; 3] {
+        [
+            PlacementPolicy::FirstFree,
+            PlacementPolicy::ChannelStriped,
+            PlacementPolicy::LeastWorn,
+        ]
     }
 }
 
-/// Policy-specific free-group storage. Both variants pop and push in O(1)
-/// (amortized; the striped pop probes at most one queue per stripe class).
+/// Policy-specific free-group storage. All variants pop and push in O(1)
+/// amortized (the striped pop probes at most one queue per stripe class;
+/// the wear-aware pop is O(log rows) for the min-wear lookup).
 #[derive(Debug, Clone)]
 enum FreePool {
     /// Never-used groups live implicitly in `cursor..total`; recycled
@@ -59,6 +114,13 @@ enum FreePool {
         queues: Vec<VecDeque<u64>>,
         next_class: usize,
     },
+    /// One FIFO queue of free groups per block row, indexed by
+    /// `(accumulated row wear, row)` so the pop always draws from the
+    /// least-worn row holding free groups.
+    LeastWorn {
+        queues: Vec<VecDeque<u64>>,
+        by_wear: BTreeSet<(u64, u64)>,
+    },
 }
 
 /// The free-space manager: free-group structure plus occupancy accounting.
@@ -68,6 +130,7 @@ pub struct FreeSpaceManager {
     pages_per_group: u64,
     channels: u64,
     dies_per_channel: u64,
+    pages_per_block: u64,
     policy: PlacementPolicy,
     pool: FreePool,
     /// Groups currently free, maintained incrementally — never derived by
@@ -76,8 +139,17 @@ pub struct FreeSpaceManager {
     /// Per-group free flag, kept in lockstep with the pool: makes
     /// `recycle` idempotent and row reclamation exact.
     free_flags: Vec<bool>,
+    /// Per-group reserved flag: reserved groups are permanently outside the
+    /// free structure (the journal's metadata row).
+    reserved_flags: Vec<bool>,
+    /// Reserved groups, O(1).
+    reserved_count: u64,
     /// Allocated groups per stripe class.
     occupancy: Vec<u64>,
+    /// Block erases absorbed per block row, maintained incrementally by
+    /// [`FreeSpaceManager::note_block_erase`] — the wear ledger the
+    /// `LeastWorn` policy allocates against.
+    row_wear: Vec<u64>,
 }
 
 impl FreeSpaceManager {
@@ -87,6 +159,7 @@ impl FreeSpaceManager {
         pages_per_group: u64,
         channels: usize,
         dies_per_channel: usize,
+        pages_per_block: usize,
         policy: PlacementPolicy,
     ) -> Self {
         let channels = channels.max(1) as u64;
@@ -97,6 +170,7 @@ impl FreeSpaceManager {
             pages_per_group: pages_per_group.max(1),
             channels,
             dies_per_channel,
+            pages_per_block: (pages_per_block as u64).max(1),
             policy,
             pool: FreePool::FirstFree {
                 cursor: 0,
@@ -104,19 +178,39 @@ impl FreeSpaceManager {
             },
             free_count: total_groups,
             free_flags: vec![true; total_groups as usize],
+            reserved_flags: vec![false; total_groups as usize],
+            reserved_count: 0,
             occupancy: vec![0; classes],
+            row_wear: Vec::new(),
         };
-        if policy == PlacementPolicy::ChannelStriped {
-            // Materialize the per-class queues once, in ascending group
-            // order, so striped allocation stays deterministic.
-            let mut queues = vec![VecDeque::new(); classes];
-            for g in 0..total_groups {
-                queues[manager.stripe_class(g)].push_back(g);
+        let rows = if total_groups == 0 {
+            0
+        } else {
+            manager.row_of_group(total_groups - 1) + 1
+        };
+        manager.row_wear = vec![0; rows as usize];
+        match policy {
+            PlacementPolicy::FirstFree => {}
+            PlacementPolicy::ChannelStriped => {
+                // Materialize the per-class queues once, in ascending group
+                // order, so striped allocation stays deterministic.
+                let mut queues = vec![VecDeque::new(); classes];
+                for g in 0..total_groups {
+                    queues[manager.stripe_class(g)].push_back(g);
+                }
+                manager.pool = FreePool::Striped {
+                    queues,
+                    next_class: 0,
+                };
             }
-            manager.pool = FreePool::Striped {
-                queues,
-                next_class: 0,
-            };
+            PlacementPolicy::LeastWorn => {
+                let mut queues = vec![VecDeque::new(); rows as usize];
+                for g in 0..total_groups {
+                    queues[manager.row_of_group(g) as usize].push_back(g);
+                }
+                let by_wear = (0..rows).map(|r| (0u64, r)).collect();
+                manager.pool = FreePool::LeastWorn { queues, by_wear };
+            }
         }
         manager
     }
@@ -129,6 +223,11 @@ impl FreeSpaceManager {
     /// Groups currently free. O(1).
     pub fn free_count(&self) -> u64 {
         self.free_count
+    }
+
+    /// Groups permanently reserved (never allocatable). O(1).
+    pub fn reserved_count(&self) -> u64 {
+        self.reserved_count
     }
 
     /// The placement policy in force.
@@ -150,6 +249,38 @@ impl FreeSpaceManager {
         (channel * self.dies_per_channel + die) as usize
     }
 
+    /// Block row of group `g`: the within-die erase-block index its leading
+    /// page falls in. Each row spans `pages_per_block × channels × dies`
+    /// flat pages (block `r` of every channel and die).
+    pub fn row_of_group(&self, g: u64) -> u64 {
+        let row_pages = self.pages_per_block * self.channels * self.dies_per_channel;
+        (g * self.pages_per_group) / row_pages
+    }
+
+    /// Accumulated block erases per row, indexed by
+    /// [`FreeSpaceManager::row_of_group`] — the incrementally maintained
+    /// wear ledger (also the oracle surface the property tests recount).
+    pub fn row_wear(&self) -> &[u64] {
+        &self.row_wear
+    }
+
+    /// Records one block erase in block row `row`, re-keying the row in the
+    /// min-wear index when the `LeastWorn` pool holds free groups there.
+    /// O(log rows).
+    pub fn note_block_erase(&mut self, row: u64) {
+        let Some(wear) = self.row_wear.get_mut(row as usize) else {
+            return;
+        };
+        let old = *wear;
+        *wear += 1;
+        if let FreePool::LeastWorn { queues, by_wear } = &mut self.pool {
+            if !queues[row as usize].is_empty() {
+                by_wear.remove(&(old, row));
+                by_wear.insert((old + 1, row));
+            }
+        }
+    }
+
     /// Allocated groups per stripe class, indexed like
     /// [`FreeSpaceManager::stripe_class`].
     pub fn occupancy(&self) -> &[u64] {
@@ -163,12 +294,19 @@ impl FreeSpaceManager {
             FreePool::FirstFree { cursor, recycled } => {
                 if let Some(g) = recycled.pop_front() {
                     g
-                } else if *cursor < self.total_groups {
-                    let g = *cursor;
-                    *cursor += 1;
-                    g
                 } else {
-                    return None;
+                    // The cursor range may contain reserved groups (the
+                    // journal row); they are skipped, never handed out.
+                    loop {
+                        if *cursor >= self.total_groups {
+                            return None;
+                        }
+                        let g = *cursor;
+                        *cursor += 1;
+                        if !self.reserved_flags[g as usize] {
+                            break g;
+                        }
+                    }
                 }
             }
             FreePool::Striped { queues, next_class } => {
@@ -184,6 +322,15 @@ impl FreeSpaceManager {
                 }
                 picked?
             }
+            FreePool::LeastWorn { queues, by_wear } => {
+                let &(wear, row) = by_wear.first()?;
+                let queue = &mut queues[row as usize];
+                let g = queue.pop_front().expect("indexed row has a free group");
+                if queue.is_empty() {
+                    by_wear.remove(&(wear, row));
+                }
+                g
+            }
         };
         self.free_count -= 1;
         self.free_flags[g as usize] = false;
@@ -197,18 +344,74 @@ impl FreeSpaceManager {
         self.free_flags.get(g as usize).copied().unwrap_or_default()
     }
 
+    /// True when group `g` is permanently reserved.
+    pub fn is_reserved(&self, g: u64) -> bool {
+        self.reserved_flags
+            .get(g as usize)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Permanently removes the group range `[low, high)` from the free
+    /// structure: reserved groups are never allocated, never recycled, and
+    /// never re-enter the pool through a row reclaim. Flashvisor reserves
+    /// the journal's metadata row this way, so the data cursor cannot
+    /// collide with journal pages on a nearly-full device.
+    pub fn reserve_range(&mut self, low: u64, high: u64) {
+        let high = high.min(self.total_groups);
+        for g in low..high {
+            if self.reserved_flags[g as usize] {
+                continue;
+            }
+            self.reserved_flags[g as usize] = true;
+            self.reserved_count += 1;
+            if std::mem::replace(&mut self.free_flags[g as usize], false) {
+                self.free_count -= 1;
+            }
+        }
+        // Physically remove reserved members from the materialized pools
+        // (the FirstFree cursor skips them at pop time instead).
+        if low >= high {
+            return;
+        }
+        let keep = |g: &u64| *g < low || *g >= high;
+        let (row_low, row_high) = (self.row_of_group(low), self.row_of_group(high - 1));
+        match &mut self.pool {
+            FreePool::FirstFree { recycled, .. } => recycled.retain(keep),
+            FreePool::Striped { queues, .. } => {
+                for q in queues.iter_mut() {
+                    q.retain(keep);
+                }
+            }
+            FreePool::LeastWorn { queues, by_wear } => {
+                for row in row_low..=row_high {
+                    let queue = &mut queues[row as usize];
+                    queue.retain(keep);
+                    if queue.is_empty() {
+                        by_wear.remove(&(self.row_wear[row as usize], row));
+                    }
+                }
+            }
+        }
+    }
+
     /// Returns a reclaimed group to the free structure. Recycling a group
-    /// that is already free is a no-op, so a double recycle cannot put the
-    /// same group in the pool twice.
+    /// that is already free (or reserved) is a no-op, so a double recycle
+    /// cannot put the same group in the pool twice.
     pub fn recycle(&mut self, g: u64) {
-        if self.free_flags[g as usize] {
+        if self.free_flags[g as usize] || self.reserved_flags[g as usize] {
             return;
         }
         self.free_flags[g as usize] = true;
         let class = self.stripe_class(g);
+        let row = self.row_of_group(g);
         match &mut self.pool {
             FreePool::FirstFree { recycled, .. } => recycled.push_back(g),
             FreePool::Striped { queues, .. } => queues[class].push_back(g),
+            FreePool::LeastWorn { queues, by_wear } => {
+                queues[row as usize].push_back(g);
+                by_wear.insert((self.row_wear[row as usize], row));
+            }
         }
         self.free_count += 1;
         // Saturating: recycling a never-allocated group (test scaffolding
@@ -222,9 +425,10 @@ impl FreeSpaceManager {
     /// re-enters the free structure as one *ascending* run. Consuming an
     /// ascending run refills the erased blocks from page 0 in NAND
     /// programming order, which is what makes reclaimed rows actually
-    /// reusable. The caller guarantees nothing in the range is mapped and
-    /// all of its blocks are erased. Returns how many groups were newly
-    /// freed (garbage that was never individually recycled).
+    /// reusable. Reserved groups are untouched. The caller guarantees
+    /// nothing in the range is mapped and all of its blocks are erased.
+    /// Returns how many groups were newly freed (garbage that was never
+    /// individually recycled).
     pub fn reclaim_range(&mut self, low: u64, high: u64) -> u64 {
         let high = high.min(self.total_groups);
         if low >= high {
@@ -238,11 +442,21 @@ impl FreeSpaceManager {
                     q.retain(in_range);
                 }
             }
+            FreePool::LeastWorn { queues, .. } => {
+                for q in queues.iter_mut() {
+                    q.retain(in_range);
+                }
+            }
         }
         let mut newly_freed = 0;
+        let mut touched_rows: Vec<u64> = Vec::new();
         for g in low..high {
+            if self.reserved_flags[g as usize] {
+                continue;
+            }
             let was_free = std::mem::replace(&mut self.free_flags[g as usize], true);
             let class = self.stripe_class(g);
+            let row = self.row_of_group(g);
             if !was_free {
                 newly_freed += 1;
                 self.free_count += 1;
@@ -257,6 +471,25 @@ impl FreeSpaceManager {
                     }
                 }
                 FreePool::Striped { queues, .. } => queues[class].push_back(g),
+                FreePool::LeastWorn { queues, .. } => {
+                    queues[row as usize].push_back(g);
+                    if touched_rows.last() != Some(&row) {
+                        touched_rows.push(row);
+                    }
+                }
+            }
+        }
+        // Re-key the wear index for every row whose queue changed: a retain
+        // may have emptied a row whose groups all re-entered, or a row may
+        // have gained its first free groups.
+        if let FreePool::LeastWorn { queues, by_wear } = &mut self.pool {
+            for row in touched_rows {
+                let key = (self.row_wear[row as usize], row);
+                if queues[row as usize].is_empty() {
+                    by_wear.remove(&key);
+                } else {
+                    by_wear.insert(key);
+                }
             }
         }
         newly_freed
@@ -269,9 +502,12 @@ impl FreeSpaceManager {
             FreePool::FirstFree { cursor, recycled } => recycled
                 .iter()
                 .copied()
-                .chain(*cursor..self.total_groups)
+                .chain((*cursor..self.total_groups).filter(|g| !self.reserved_flags[*g as usize]))
                 .collect(),
             FreePool::Striped { queues, .. } => {
+                queues.iter().flat_map(|q| q.iter().copied()).collect()
+            }
+            FreePool::LeastWorn { queues, .. } => {
                 queues.iter().flat_map(|q| q.iter().copied()).collect()
             }
         }
@@ -284,7 +520,7 @@ mod tests {
 
     #[test]
     fn first_free_reproduces_cursor_then_fifo_order() {
-        let mut m = FreeSpaceManager::new(8, 2, 2, 1, PlacementPolicy::FirstFree);
+        let mut m = FreeSpaceManager::new(8, 2, 2, 1, 16, PlacementPolicy::FirstFree);
         assert_eq!(m.free_count(), 8);
         assert_eq!(m.allocate(), Some(0));
         assert_eq!(m.allocate(), Some(1));
@@ -299,7 +535,7 @@ mod tests {
 
     #[test]
     fn exhaustion_returns_none_until_recycle() {
-        let mut m = FreeSpaceManager::new(2, 1, 1, 1, PlacementPolicy::FirstFree);
+        let mut m = FreeSpaceManager::new(2, 1, 1, 1, 16, PlacementPolicy::FirstFree);
         assert_eq!(m.allocate(), Some(0));
         assert_eq!(m.allocate(), Some(1));
         assert_eq!(m.allocate(), None);
@@ -313,7 +549,7 @@ mod tests {
         // 8 groups of 1 page on 2 channels × 2 dies: group g's leading page
         // is flat page g, so classes cycle 0,2,1,3 (channel first, then
         // die) as g increases.
-        let mut m = FreeSpaceManager::new(8, 1, 2, 2, PlacementPolicy::ChannelStriped);
+        let mut m = FreeSpaceManager::new(8, 1, 2, 2, 16, PlacementPolicy::ChannelStriped);
         assert_eq!(m.class_count(), 4);
         let picks: Vec<u64> = (0..4).map(|_| m.allocate().unwrap()).collect();
         let classes: Vec<usize> = picks.iter().map(|&g| m.stripe_class(g)).collect();
@@ -327,7 +563,7 @@ mod tests {
 
     #[test]
     fn striped_skips_empty_classes_and_exhausts_cleanly() {
-        let mut m = FreeSpaceManager::new(4, 1, 2, 1, PlacementPolicy::ChannelStriped);
+        let mut m = FreeSpaceManager::new(4, 1, 2, 1, 16, PlacementPolicy::ChannelStriped);
         let mut got = Vec::new();
         while let Some(g) = m.allocate() {
             got.push(g);
@@ -342,7 +578,7 @@ mod tests {
 
     #[test]
     fn double_recycle_is_idempotent() {
-        let mut m = FreeSpaceManager::new(4, 1, 1, 1, PlacementPolicy::FirstFree);
+        let mut m = FreeSpaceManager::new(4, 1, 1, 1, 16, PlacementPolicy::FirstFree);
         let g = m.allocate().unwrap();
         assert!(!m.is_free(g));
         m.recycle(g);
@@ -354,8 +590,8 @@ mod tests {
 
     #[test]
     fn reclaim_range_reinserts_an_ascending_run() {
-        for policy in [PlacementPolicy::FirstFree, PlacementPolicy::ChannelStriped] {
-            let mut m = FreeSpaceManager::new(8, 1, 1, 1, policy);
+        for policy in PlacementPolicy::all() {
+            let mut m = FreeSpaceManager::new(8, 1, 1, 1, 4, policy);
             // Allocate six groups, recycle two of them out of order, and
             // leave two allocated-but-unmapped (garbage).
             let held: Vec<u64> = (0..6).map(|_| m.allocate().unwrap()).collect();
@@ -379,8 +615,8 @@ mod tests {
 
     #[test]
     fn occupancy_and_free_set_stay_consistent() {
-        for policy in [PlacementPolicy::FirstFree, PlacementPolicy::ChannelStriped] {
-            let mut m = FreeSpaceManager::new(16, 2, 2, 2, policy);
+        for policy in PlacementPolicy::all() {
+            let mut m = FreeSpaceManager::new(16, 2, 2, 2, 8, policy);
             let mut held = Vec::new();
             for _ in 0..10 {
                 held.push(m.allocate().unwrap());
@@ -398,5 +634,88 @@ mod tests {
             dedup.dedup();
             assert_eq!(dedup.len(), free.len(), "{policy:?}");
         }
+    }
+
+    #[test]
+    fn least_worn_prefers_the_freshest_row() {
+        // 8 groups of 2 pages, 2 channels × 1 die × 4-page blocks: each row
+        // holds 4 groups.
+        let mut m = FreeSpaceManager::new(8, 2, 2, 1, 4, PlacementPolicy::LeastWorn);
+        assert_eq!(m.row_wear().len(), 2);
+        // Untouched device: rows tie at wear 0, lowest row wins, groups pop
+        // ascending within the row.
+        assert_eq!(m.allocate(), Some(0));
+        assert_eq!(m.allocate(), Some(1));
+        // Row 0 wears out; allocation moves to row 1.
+        m.note_block_erase(0);
+        assert_eq!(m.allocate(), Some(4));
+        // Row 1 wears past row 0; allocation returns to row 0's remainder.
+        m.note_block_erase(1);
+        m.note_block_erase(1);
+        assert_eq!(m.allocate(), Some(2));
+        // Recycled groups rejoin the back of their row's queue under the
+        // current wear, so the less-worn row keeps serving FIFO.
+        m.recycle(4);
+        m.note_block_erase(0);
+        m.note_block_erase(0); // row 0 wear 3, row 1 wear 2
+        assert_eq!(m.allocate(), Some(5));
+        assert_eq!(m.row_wear(), &[3, 2]);
+    }
+
+    #[test]
+    fn least_worn_drains_fully_and_recycles() {
+        let mut m = FreeSpaceManager::new(8, 1, 1, 1, 4, PlacementPolicy::LeastWorn);
+        let mut got = Vec::new();
+        while let Some(g) = m.allocate() {
+            got.push(g);
+        }
+        assert_eq!(got.len(), 8);
+        assert_eq!(m.free_count(), 0);
+        m.recycle(5);
+        assert_eq!(m.allocate(), Some(5));
+        assert_eq!(m.allocate(), None);
+    }
+
+    #[test]
+    fn reserve_range_fences_groups_from_every_path() {
+        for policy in PlacementPolicy::all() {
+            let mut m = FreeSpaceManager::new(8, 1, 1, 1, 4, policy);
+            m.reserve_range(6, 8);
+            assert_eq!(m.free_count(), 6, "{policy:?}");
+            assert_eq!(m.reserved_count(), 2, "{policy:?}");
+            assert!(m.is_reserved(6) && m.is_reserved(7), "{policy:?}");
+            // Reserved groups are never allocated...
+            let mut got = Vec::new();
+            while let Some(g) = m.allocate() {
+                got.push(g);
+            }
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1, 2, 3, 4, 5], "{policy:?}");
+            // ...never recycled...
+            m.recycle(6);
+            assert_eq!(m.free_count(), 0, "{policy:?}");
+            // ...and never resurrected by a row reclaim over their range.
+            let newly = m.reclaim_range(4, 8);
+            assert_eq!(newly, 2, "{policy:?}");
+            let free = m.debug_free_groups();
+            assert!(
+                free.iter().all(|g| !m.is_reserved(*g)),
+                "{policy:?}: reserved group leaked into the pool"
+            );
+        }
+    }
+
+    #[test]
+    fn reservation_is_idempotent_and_occupancy_balances() {
+        let mut m = FreeSpaceManager::new(16, 2, 2, 2, 8, PlacementPolicy::FirstFree);
+        m.reserve_range(12, 16);
+        m.reserve_range(12, 16);
+        assert_eq!(m.reserved_count(), 4);
+        let mut held = Vec::new();
+        for _ in 0..6 {
+            held.push(m.allocate().unwrap());
+        }
+        let occupied: u64 = m.occupancy().iter().sum();
+        assert_eq!(occupied + m.free_count() + m.reserved_count(), 16);
     }
 }

@@ -115,6 +115,26 @@ pub struct RunOutcome {
     /// seconds — the tail the per-owner budgets exist to protect. Zero
     /// when the run read nothing.
     pub foreground_read_p99_s: f64,
+    /// Fewest erase cycles any data block absorbed (the journal's reserved
+    /// metadata row is excluded from all three wear metrics).
+    pub wear_min_erases: u64,
+    /// Most erase cycles any data block absorbed. `max − min` is the wear
+    /// spread the `LeastWorn` placement policy exists to narrow.
+    pub wear_max_erases: u64,
+    /// Population standard deviation of per-data-block erase cycles.
+    pub wear_stddev_erases: f64,
+    /// Bytes GC migrated per byte it returned to the allocator — the
+    /// write-amplification-style efficiency the victim policies compete
+    /// on (lower is better; 0 when GC reclaimed nothing).
+    pub gc_migrated_bytes_per_reclaimed_byte: f64,
+    /// Group writes classified hot by the overwrite-count threshold.
+    pub hot_group_writes: u64,
+    /// Group writes classified cold (all of them when hot/cold separation
+    /// is disabled).
+    pub cold_group_writes: u64,
+    /// Fraction of hot-classified writes served from the dedicated hot
+    /// active blocks; 0 when nothing was classified hot.
+    pub hot_steer_rate: f64,
 }
 
 impl RunOutcome {
@@ -226,6 +246,13 @@ mod tests {
             journal_dumps: 1,
             flash_owner_stats: Vec::new(),
             foreground_read_p99_s: 0.0,
+            wear_min_erases: 0,
+            wear_max_erases: 0,
+            wear_stddev_erases: 0.0,
+            gc_migrated_bytes_per_reclaimed_byte: 0.0,
+            hot_group_writes: 0,
+            cold_group_writes: 0,
+            hot_steer_rate: 0.0,
         }
     }
 

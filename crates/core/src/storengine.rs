@@ -36,6 +36,14 @@ pub enum GcVictimPolicy {
     /// migration); falls back to the round-robin walk when nothing holds
     /// garbage.
     GreedyMinValid,
+    /// Pick the row of the reclaimable block maximizing the classic
+    /// cost-benefit score `age × garbage / valid`, where `age` is the time
+    /// since the block last absorbed a program — stale garbage is cheap to
+    /// reclaim now, hot blocks are about to gather more garbage. Block ages
+    /// and garbage counts are maintained incrementally in the valid-page
+    /// index, never rescanned. Falls back to the round-robin walk when
+    /// nothing holds garbage.
+    CostBenefit,
 }
 
 impl GcVictimPolicy {
@@ -44,7 +52,17 @@ impl GcVictimPolicy {
         match self {
             GcVictimPolicy::RoundRobin => "RoundRobin",
             GcVictimPolicy::GreedyMinValid => "GreedyMinValid",
+            GcVictimPolicy::CostBenefit => "CostBenefit",
         }
+    }
+
+    /// Every victim policy, in report order.
+    pub fn all() -> [GcVictimPolicy; 3] {
+        [
+            GcVictimPolicy::RoundRobin,
+            GcVictimPolicy::GreedyMinValid,
+            GcVictimPolicy::CostBenefit,
+        ]
     }
 }
 
@@ -61,6 +79,10 @@ pub struct StorengineStats {
     pub pages_migrated: u64,
     /// Block erases issued.
     pub erases: u64,
+    /// Page groups returned to the allocator by GC row reclaims. Together
+    /// with `pages_migrated` this yields the migrated-bytes-per-
+    /// reclaimed-byte efficiency the victim policies compete on.
+    pub groups_reclaimed: u64,
 }
 
 /// Outcome of one garbage-collection pass.
@@ -244,32 +266,37 @@ impl Storengine {
         flashvisor.free_fraction() < self.config.gc_low_watermark
     }
 
-    /// Plans one reclamation pass: picks the victim block row under the
-    /// configured policy and enumerates the groups that must be migrated
-    /// out of it (via the reverse index — O(groups per row), not a mapping
-    /// scan). Consumes no device time; the caller executes the plan with
-    /// [`Storengine::execute_gc`] against the same Flashvisor state.
-    pub fn plan_gc(&mut self, flashvisor: &Flashvisor) -> GcPlan {
+    /// Plans one reclamation pass at instant `now`: picks the victim block
+    /// row under the configured policy and enumerates the groups that must
+    /// be migrated out of it (via the reverse index — O(groups per row),
+    /// not a mapping scan). `now` feeds the cost-benefit block ages; the
+    /// other policies ignore it. The journal's reserved metadata row is
+    /// never a victim. Consumes no device time; the caller executes the
+    /// plan with [`Storengine::execute_gc`] against the same Flashvisor
+    /// state.
+    pub fn plan_gc(&mut self, now: SimTime, flashvisor: &Flashvisor) -> GcPlan {
         let geometry = self.config.flash_geometry;
         let blocks_per_die = geometry.blocks_per_die() as u64;
-        let row = match self.config.gc_victim {
-            GcVictimPolicy::RoundRobin => {
-                let r = self.victim_cursor % blocks_per_die;
+        // The round-robin walk (also every policy's no-garbage fallback)
+        // cycles over the data rows only, skipping the journal row.
+        let data_rows = match self.config.journal_metadata_row() {
+            Some(_) => blocks_per_die - 1,
+            None => blocks_per_die,
+        };
+        let picked = match self.config.gc_victim {
+            GcVictimPolicy::RoundRobin => None,
+            GcVictimPolicy::GreedyMinValid => flashvisor.backbone().min_valid_garbage_block(),
+            GcVictimPolicy::CostBenefit => flashvisor.backbone().cost_benefit_victim_block(now),
+        };
+        let row = match picked {
+            Some(b) => geometry.block_index_to_addr(b).2 as u64,
+            // RoundRobin, or nothing holds garbage: advance the cursor walk
+            // so the pass still erases *something* reclaimable in the long
+            // run.
+            None => {
+                let r = self.victim_cursor % data_rows.max(1);
                 self.victim_cursor += 1;
                 r
-            }
-            GcVictimPolicy::GreedyMinValid => {
-                match flashvisor.backbone().min_valid_garbage_block() {
-                    Some(b) => geometry.block_index_to_addr(b).2 as u64,
-                    // Nothing holds garbage: fall back to the round-robin
-                    // walk so the pass still erases *something* reclaimable
-                    // in the long run.
-                    None => {
-                        let r = self.victim_cursor % blocks_per_die;
-                        self.victim_cursor += 1;
-                        r
-                    }
-                }
             }
         };
         let (group_low, group_high) = self.config.block_row_group_range(row);
@@ -348,12 +375,13 @@ impl Storengine {
                 flashvisor.allocate_group_for_gc_excluding(plan.group_low, plan.group_high);
             let new_pg = match destination {
                 Some(g) => g,
-                // Every free group lies inside the row this pass wants to
-                // erase: there is nowhere safe to relocate to, so leave the
-                // group mapped where it is and keep the pass
-                // non-destructive rather than aborting the run — the space
-                // is still there, just not reachable by this victim choice.
-                None if flashvisor.free_physical_groups() > 0 => continue,
+                // Every available group (pool or hot reserve) lies inside
+                // the row this pass wants to erase: there is nowhere safe
+                // to relocate to, so leave the group mapped where it is and
+                // keep the pass non-destructive rather than aborting the
+                // run — the space is still there, just not reachable by
+                // this victim choice.
+                None if flashvisor.available_groups() > 0 => continue,
                 None => {
                     return Err(FaError::OutOfFlashSpace {
                         requested: 1,
@@ -447,9 +475,12 @@ impl Storengine {
         // elsewhere, garbage the row shared a group with), then the range
         // reclaim recovers everything the row held: the migrated groups'
         // old locations and the overwrite garbage no migration ever
-        // recycled.
-        flashvisor.reclaim_fully_erased();
-        let reclaimed_groups = flashvisor.reclaim_group_range(plan.group_low, plan.group_high);
+        // recycled. Both counts are this pass's reclaim — the drain usually
+        // recycles the row's garbage before the range walk can see it.
+        let drained = flashvisor.reclaim_fully_erased();
+        let ranged = flashvisor.reclaim_group_range(plan.group_low, plan.group_high);
+        let reclaimed_groups = drained + ranged;
+        self.stats.groups_reclaimed += reclaimed_groups;
         Ok(GcOutcome {
             groups_reclaimed: reclaimed_groups,
             pages_migrated: progress.migrated_pages,
@@ -476,7 +507,7 @@ impl Storengine {
         now: SimTime,
         flashvisor: &mut Flashvisor,
     ) -> Result<GcOutcome, FaError> {
-        let plan = self.plan_gc(flashvisor);
+        let plan = self.plan_gc(now, flashvisor);
         self.execute_gc(now, flashvisor, &plan)
     }
 }
@@ -592,6 +623,68 @@ mod tests {
             .read_section(SimTime::from_ms(80), 0, 8 * group, &mut sp)
             .unwrap();
         assert_eq!(t.groups, 8);
+    }
+
+    #[test]
+    fn gc_survives_pool_drained_into_hot_reserve() {
+        // Regression: a hot write's reserve refill can empty the shared
+        // pool while the reserve still holds free groups. A GC pass that
+        // then needs a migration destination must draw from the reserve
+        // (and the abort guards must count it) instead of failing the run
+        // with OutOfFlashSpace while unmapped space exists.
+        let mut config = FlashAbacusConfig::tiny_for_tests(SchedulerPolicy::IntraO3);
+        config.hot_overwrite_threshold = Some(1);
+        let mut s = Storengine::new(config);
+        let mut v = Flashvisor::new(config);
+        let mut sp = Scratchpad::new(&PlatformSpec::paper_prototype());
+        let group = config.page_group_bytes;
+        let row_groups = (config.flash_geometry.pages_per_block as u64
+            * config.flash_geometry.channels as u64
+            * config.flash_geometry.dies_per_channel() as u64)
+            / config.pages_per_group();
+        // Fill the first two rows, then overwrite all but one group of
+        // row 0: the overwrites are hot (threshold 1), so they relocate
+        // through the reserve and row 0 becomes almost pure garbage.
+        v.write_section(SimTime::ZERO, 0, 2 * row_groups * group, &mut sp)
+            .unwrap();
+        v.write_section(
+            SimTime::from_ms(1),
+            group,
+            (row_groups - 1) * group,
+            &mut sp,
+        )
+        .unwrap();
+        // Fill fresh cold groups until the shared pool is empty; free
+        // space now exists only inside the hot reserve.
+        let remaining = v.free_physical_groups();
+        v.write_section(
+            SimTime::from_ms(2),
+            2 * row_groups * group,
+            remaining * group,
+            &mut sp,
+        )
+        .unwrap();
+        assert_eq!(v.free_physical_groups(), 0, "pool should be drained");
+        assert!(
+            !v.hot_reserved_groups().is_empty(),
+            "reserve should still hold staged groups"
+        );
+        // The round-robin pass over row 0 must migrate its one live group;
+        // the only possible destination is in the hot reserve.
+        let out = s
+            .collect_garbage(SimTime::from_ms(3), &mut v)
+            .expect("GC must not abort while the hot reserve holds free groups");
+        assert!(out.pages_migrated > 0, "pass had a group to migrate");
+        assert!(
+            out.groups_reclaimed >= row_groups - 1,
+            "erasing the garbage row reclaims it (got {})",
+            out.groups_reclaimed
+        );
+        // The migrated data is still mapped and readable.
+        let t = v
+            .read_section(SimTime::from_ms(5), 0, 4 * group, &mut sp)
+            .unwrap();
+        assert_eq!(t.groups, 4);
     }
 
     #[test]

@@ -357,7 +357,7 @@ impl FlashAbacusSystem {
             let out = self.storengine.collect_garbage(now, &mut self.flashvisor)?;
             self.gc_passes += 1;
             guard += 1;
-            if out.groups_reclaimed == 0 && self.flashvisor.free_physical_groups() == 0 {
+            if out.groups_reclaimed == 0 && self.flashvisor.available_groups() == 0 {
                 return Err(FaError::OutOfFlashSpace {
                     requested: 1,
                     available: 0,
@@ -399,7 +399,7 @@ impl FlashAbacusSystem {
                     self.gc_campaign_active = false;
                     return Ok(());
                 }
-                let plan = self.storengine.plan_gc(&self.flashvisor);
+                let plan = self.storengine.plan_gc(at, &self.flashvisor);
                 let progress = self.storengine.begin_gc_pass(at);
                 self.advance_gc_pass(plan, progress, remaining)
             }
@@ -444,7 +444,7 @@ impl FlashAbacusSystem {
             .storengine
             .finish_gc_pass(&mut self.flashvisor, &plan, &progress)?;
         self.gc_passes += 1;
-        if out.groups_reclaimed == 0 && self.flashvisor.free_physical_groups() == 0 {
+        if out.groups_reclaimed == 0 && self.flashvisor.available_groups() == 0 {
             return Err(FaError::OutOfFlashSpace {
                 requested: 1,
                 available: 0,
@@ -873,6 +873,19 @@ impl FlashAbacusSystem {
             .map(|d| d.as_secs_f64())
             .unwrap_or(0.0);
 
+        // Endurance: erase-cycle spread over the data blocks, and GC's
+        // migration efficiency.
+        let wear = self.flashvisor.data_block_wear();
+        let se_stats = self.storengine.stats();
+        let reclaimed_bytes = se_stats.groups_reclaimed * self.config.page_group_bytes;
+        let gc_migrated_bytes_per_reclaimed_byte = if reclaimed_bytes == 0 {
+            0.0
+        } else {
+            (se_stats.pages_migrated * self.config.flash_geometry.page_bytes as u64) as f64
+                / reclaimed_bytes as f64
+        };
+        let fv_stats = self.flashvisor.stats();
+
         RunOutcome {
             scheduler: self.config.scheduler,
             finished_at,
@@ -894,6 +907,13 @@ impl FlashAbacusSystem {
             journal_dumps: self.storengine.stats().journal_dumps,
             flash_owner_stats,
             foreground_read_p99_s,
+            wear_min_erases: wear.min_erases,
+            wear_max_erases: wear.max_erases,
+            wear_stddev_erases: wear.stddev_erases,
+            gc_migrated_bytes_per_reclaimed_byte,
+            hot_group_writes: fv_stats.hot_group_writes,
+            cold_group_writes: fv_stats.cold_group_writes,
+            hot_steer_rate: fv_stats.hot_steer_rate(),
         }
     }
 }
@@ -1100,11 +1120,10 @@ mod tests {
     /// A config whose flash is small enough that the test workload trips
     /// the GC watermark mid-run, with unbuffered writes so flushes (and
     /// therefore storage management) overlap remaining foreground screens.
-    /// Journaling is quiesced: the tiny device's allocation cursor reaches
-    /// the reserved metadata row, and journal pages there would make GC
-    /// migration destinations unprogrammable — a pre-existing seed hazard
-    /// that would muddy what this config isolates, GC-vs-foreground
-    /// channel contention.
+    /// Journaling is quiesced so its background traffic does not muddy
+    /// what this config isolates: GC-vs-foreground channel contention.
+    /// (The journal's metadata row is reserved in the allocator now, so
+    /// the old cursor-collision hazard is gone either way.)
     fn gc_pressure_config(policy: SchedulerPolicy) -> FlashAbacusConfig {
         let mut config = FlashAbacusConfig::tiny_for_tests(policy);
         config.flash_geometry.blocks_per_plane = 16; // 4 MiB, 512 groups

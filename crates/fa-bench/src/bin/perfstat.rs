@@ -1,15 +1,17 @@
 //! Records the harness's own performance — campaign wall-clock (serial vs
 //! parallel), per-policy dispatch throughput, the incremental allocator /
-//! GC-discovery speedups — plus the *simulated* QoS ablation: foreground
-//! read p99 under concurrent GC with storage management synchronous,
-//! backgrounded, and backgrounded with a per-owner tag budget. Written to
-//! `BENCH_PR4.json`.
+//! GC-discovery speedups — plus two *simulated* ablations: the QoS
+//! ablation (foreground read p99 under concurrent GC, synchronous vs
+//! backgrounded vs budgeted) and the storage-policy ablation (placement ×
+//! GC-victim × hot/cold wear spread and migration efficiency). Written to
+//! `BENCH_PR5.json`.
 //!
 //! The wall-clock sections measure the simulator, not the simulated
-//! hardware; the `qos_ablation` section is simulated time and is exactly
-//! reproducible. Knobs: `FA_DATA_SCALE` (workload size divisor),
-//! `FA_THREADS` (parallel campaign width), `FA_PERFSTAT_OUT` (output path,
-//! default `BENCH_PR4.json` in the working directory).
+//! hardware; the `qos_ablation` and `policy_ablation` sections are
+//! simulated time and exactly reproducible. Knobs: `FA_DATA_SCALE`
+//! (workload size divisor), `FA_THREADS` (parallel campaign width),
+//! `FA_PERFSTAT_OUT` (output path, default `BENCH_PR5.json` in the
+//! working directory).
 //!
 //! Regenerate with:
 //! ```text
@@ -17,6 +19,7 @@
 //! ```
 
 use fa_bench::experiments::fig12_cdf::{gc_pressure_workload, qos_ablation_modes, run_qos_mode};
+use fa_bench::experiments::policy_ablation::{churn_grid, churn_rounds, hot_cold_on_rows};
 use fa_bench::experiments::Campaign;
 use fa_bench::perf::{
     naive_ready_first, naive_victim_groups, populated_flashvisor, screen_batch, NaiveScanAllocator,
@@ -79,7 +82,7 @@ struct QosStat {
 /// free-space manager and through the old scan-based allocator. Both
 /// drains end exhausted; the results are asserted identical.
 fn time_allocator(groups: u64) -> AllocatorStat {
-    let mut incremental = FreeSpaceManager::new(groups, 8, 4, 8, PlacementPolicy::FirstFree);
+    let mut incremental = FreeSpaceManager::new(groups, 8, 4, 8, 256, PlacementPolicy::FirstFree);
     let start = Instant::now();
     let mut popped = 0u64;
     while incremental.allocate().is_some() {
@@ -327,9 +330,19 @@ fn main() {
         })
         .collect();
 
+    // The storage-policy ablation (simulated, deterministic): placement ×
+    // GC-victim wear spread and migration efficiency, plus the hot/cold
+    // separation-on rows (the separation-off partners are the grid's own
+    // rows — not re-simulated).
+    let rounds = churn_rounds(scale);
+    let policy_outcomes: Vec<_> = churn_grid(rounds)
+        .into_iter()
+        .chain(hot_cold_on_rows(rounds))
+        .collect();
+
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"pr\": 4,");
+    let _ = writeln!(json, "  \"pr\": 5,");
     let _ = writeln!(json, "  \"data_scale\": {},", scale.data_scale);
     let _ = writeln!(json, "  \"threads\": {threads},");
     json.push_str("  \"campaigns\": [\n");
@@ -418,6 +431,59 @@ fn main() {
         json.push_str(if i + 1 < qos.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n");
+    // Placement × GC-victim × hot/cold: wear spread over the data blocks
+    // and GC migration efficiency, identical churn per combination.
+    let _ = writeln!(json, "  \"policy_ablation_rounds\": {rounds},");
+    json.push_str("  \"policy_ablation\": [\n");
+    for (i, p) in policy_outcomes.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"placement\": \"{}\", \"gc_victim\": \"{}\", \"hot_threshold\": {}, \"wear_min\": {}, \"wear_max\": {}, \"wear_spread\": {}, \"wear_stddev\": {:.4}, \"migrated_bytes_per_reclaimed_byte\": {:.5}, \"hot_steer_rate\": {:.4}}}",
+            p.placement,
+            p.gc_victim,
+            // Disabled is `null`, never 0 — threshold 0 is a legal config
+            // (every write hot) and must stay distinguishable.
+            p.hot_threshold
+                .map_or("null".to_string(), |t| t.to_string()),
+            p.wear_min,
+            p.wear_max,
+            p.wear_spread(),
+            p.wear_stddev,
+            p.migrated_per_reclaimed,
+            p.hot_steer_rate
+        );
+        json.push_str(if i + 1 < policy_outcomes.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("  ],\n");
+    // Headline ratios: how much LeastWorn narrows the erase spread vs
+    // FirstFree (same greedy victims), and how much the smartest victim
+    // policy cuts migrated-bytes-per-reclaimed-byte vs round-robin.
+    let find = |placement: &str, gc: &str| {
+        policy_outcomes
+            .iter()
+            .find(|p| p.placement == placement && p.gc_victim == gc && p.hot_threshold.is_none())
+            .expect("grid covers the combination")
+    };
+    let ff_spread = find("FirstFree", "GreedyMinValid").wear_spread() as f64;
+    let lw_spread = find("LeastWorn", "GreedyMinValid").wear_spread() as f64;
+    let rr_eff = find("FirstFree", "RoundRobin").migrated_per_reclaimed;
+    let best_eff = find("FirstFree", "GreedyMinValid")
+        .migrated_per_reclaimed
+        .min(find("FirstFree", "CostBenefit").migrated_per_reclaimed);
+    let _ = writeln!(
+        json,
+        "  \"wear_spread_narrowing\": {:.3},",
+        ff_spread / lw_spread.max(1.0)
+    );
+    let _ = writeln!(
+        json,
+        "  \"gc_migration_efficiency_improvement\": {:.3},",
+        rr_eff / best_eff.max(1e-12)
+    );
     let unbudgeted = qos
         .iter()
         .find(|q| q.mode == "bg-unbudgeted")
@@ -436,7 +502,7 @@ fn main() {
     json.push_str("}\n");
 
     let out_path =
-        std::env::var("FA_PERFSTAT_OUT").unwrap_or_else(|_| "BENCH_PR4.json".to_string());
+        std::env::var("FA_PERFSTAT_OUT").unwrap_or_else(|_| "BENCH_PR5.json".to_string());
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     println!("{json}");
     eprintln!("perfstat: wrote {out_path}");

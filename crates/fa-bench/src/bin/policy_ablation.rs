@@ -1,0 +1,15 @@
+//! Renders the policy-ablation figure: placement × GC-victim churn grid,
+//! hot/cold separation ablation, and full-system endurance rows.
+//!
+//! ```text
+//! cargo run --release -p fa-bench --bin policy_ablation
+//! ```
+//!
+//! `FA_DATA_SCALE` scales the churn depth down for smokes.
+
+use fa_bench::experiments::policy_ablation;
+use fa_bench::runner::ExperimentScale;
+
+fn main() {
+    println!("{}", policy_ablation::report(ExperimentScale::from_env()));
+}

@@ -76,9 +76,10 @@ pub fn gc_pressure_workload() -> Vec<Application> {
 /// The GC-pressure device of the ablation: a 4 MiB backbone whose
 /// watermark sits above the workload's footprint, so Storengine reclaims
 /// for the whole run; writes are unbuffered so flushes (and therefore GC)
-/// overlap the remaining foreground screens. Journaling is quiesced — on a
-/// device this small the allocation cursor reaches the reserved metadata
-/// row, and journal pages there would confound the GC-contention signal.
+/// overlap the remaining foreground screens. Journaling is quiesced so
+/// its background traffic does not confound the GC-contention signal
+/// (the metadata row itself is reserved in the allocator now, so the old
+/// cursor-collision hazard is gone either way).
 pub fn gc_pressure_config(policy: SchedulerPolicy) -> FlashAbacusConfig {
     let mut config = FlashAbacusConfig::tiny_for_tests(policy);
     config.flash_geometry.blocks_per_plane = 16;

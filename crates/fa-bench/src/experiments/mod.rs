@@ -14,6 +14,7 @@ pub mod fig14_utilization;
 pub mod fig15_timeline;
 pub mod fig16_bigdata;
 pub mod fig3_motivation;
+pub mod policy_ablation;
 pub mod tables;
 
 pub use campaign::Campaign;

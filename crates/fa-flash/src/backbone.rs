@@ -291,7 +291,7 @@ impl FlashBackbone {
                 let res = self.srio.reserve(now, page_bytes);
                 let done =
                     channel.execute(res.end, ChannelOp::Program, command.addr, owner, None)?;
-                self.valid_index.on_program(block, flat);
+                self.valid_index.on_program(block, flat, now.as_ns());
                 self.stats.programs += 1;
                 self.stats.srio_bytes += page_bytes;
                 by_owner.programs += 1;
@@ -350,6 +350,7 @@ impl FlashBackbone {
         self.valid_index.on_program(
             self.geometry.block_index(addr),
             self.geometry.addr_to_flat(addr),
+            0,
         );
         Ok(())
     }
@@ -460,6 +461,30 @@ impl FlashBackbone {
     /// garbage.
     pub fn min_valid_garbage_block(&self) -> Option<u64> {
         self.valid_index.min_valid_garbage_block()
+    }
+
+    /// The reclaimable block maximizing the cost-benefit score
+    /// `age × garbage / valid` at `now` (see
+    /// [`ValidPageIndex::cost_benefit_victim`]); `None` when nothing holds
+    /// garbage.
+    pub fn cost_benefit_victim_block(&self, now: SimTime) -> Option<u64> {
+        self.valid_index.cost_benefit_victim(now.as_ns())
+    }
+
+    /// Drains the flat block indices erased since the previous drain, one
+    /// entry per erase. The translation layer feeds these into its
+    /// min-wear placement structure so wear stays incrementally current.
+    pub fn take_erased_blocks(&mut self) -> Vec<u64> {
+        self.valid_index.take_erased_blocks()
+    }
+
+    /// Erase cycles of every block, indexed by
+    /// [`FlashGeometry::block_index`] — the endurance snapshot the run
+    /// outcome's wear-spread metrics summarize.
+    pub fn block_erase_counts(&self) -> Vec<u64> {
+        (0..self.geometry.total_blocks())
+            .map(|b| self.valid_index.block_erase_count(b))
+            .collect()
     }
 
     /// Returns the number of valid pages in the given block.

@@ -15,6 +15,20 @@
 //! * **Accounting.** Controllers and the backbone keep per-owner
 //!   [`OwnerStats`] — command counts, payload bytes, occupancy peaks, and
 //!   read latencies — so figures can show *who pays* for contention.
+//!
+//! # Examples
+//!
+//! ```
+//! use fa_flash::{OwnerId, QosBudgets};
+//!
+//! // Foreground kernels get 8 outstanding tags per channel, the GC and
+//! // journal streams 2 each.
+//! let budgets = QosBudgets { per_owner: Some(8), background: Some(2) };
+//! assert_eq!(budgets.budget_for(OwnerId::Kernel(3)), Some(8));
+//! assert_eq!(budgets.budget_for(OwnerId::Gc), Some(2));
+//! assert!(OwnerId::Journal.is_background());
+//! assert_eq!(OwnerId::Kernel(3).label(), "kernel3");
+//! ```
 
 use serde::{Deserialize, Serialize};
 use std::fmt;

@@ -15,10 +15,43 @@
 //! deterministic (smallest block index wins ties), which the campaign
 //! determinism contract relies on.
 //!
+//! Two richer victim policies read further fields of the same structure:
+//!
+//! * **Wear.** Every [`ValidPageIndex::on_erase`] bumps a per-block erase
+//!   counter and records the block in a pending *erase event* list. The
+//!   translation layer drains that list ([`ValidPageIndex::take_erased_blocks`])
+//!   to keep its min-wear placement structure current without ever
+//!   rescanning the dies.
+//! * **Age.** Every program stamps its block's `last_program_ns`, so the
+//!   classic cost-benefit score `age × garbage / valid` is computable per
+//!   garbage block from index state alone
+//!   ([`ValidPageIndex::cost_benefit_victim`]).
+//!
 //! The index is maintained by [`crate::backbone::FlashBackbone`] for every
 //! command routed through it. Mutating a die directly (tests using
 //! `die_mut`) bypasses the hooks; the property-test oracle recounts from
 //! page states to catch any such drift in paths that matter.
+//!
+//! # Examples
+//!
+//! ```
+//! use fa_flash::ValidPageIndex;
+//!
+//! let mut idx = ValidPageIndex::new(2, 4);
+//! // Two programs land in block 0; one page is later superseded.
+//! idx.on_program(0, 0, 10);
+//! idx.on_program(0, 1, 20);
+//! idx.on_invalidate(0, 1);
+//! assert_eq!(idx.valid_in(0), 1);
+//! assert_eq!(idx.garbage_in(0), 1);
+//! // Block 0 is now the cheapest (and only) reclaim candidate.
+//! assert_eq!(idx.min_valid_garbage_block(), Some(0));
+//! assert_eq!(idx.cost_benefit_victim(1_000), Some(0));
+//! // Erasing it bumps the wear counter and queues an erase event.
+//! idx.on_erase(0);
+//! assert_eq!(idx.block_erase_count(0), 1);
+//! assert_eq!(idx.take_erased_blocks(), vec![0]);
+//! ```
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -63,6 +96,15 @@ pub struct ValidPageIndex {
     /// Valid counts whose bucket is non-empty, for O(log n) minimum lookup.
     occupied: BTreeSet<u32>,
     total_valid: u64,
+    /// Erase cycles per block, maintained on every [`ValidPageIndex::on_erase`].
+    erase_counts: Vec<u64>,
+    /// Blocks erased since the last [`ValidPageIndex::take_erased_blocks`]
+    /// drain (one entry per erase, so repeated erases of one block are all
+    /// visible to the wear structure above).
+    erase_events: Vec<u64>,
+    /// Instant (ns) of the last program landing in each block — the age
+    /// base of the cost-benefit score.
+    last_program_ns: Vec<u64>,
     /// Page-group accounting, when enabled.
     groups: Option<GroupTracker>,
 }
@@ -78,6 +120,9 @@ impl ValidPageIndex {
             buckets: vec![BTreeSet::new(); pages_per_block + 1],
             occupied: BTreeSet::new(),
             total_valid: 0,
+            erase_counts: vec![0; total_blocks],
+            erase_events: Vec::new(),
+            last_program_ns: vec![0; total_blocks],
             groups: None,
         }
     }
@@ -120,8 +165,9 @@ impl ValidPageIndex {
     }
 
     /// Records one page program (or preload) of flat page `flat` landing in
-    /// `block`.
-    pub fn on_program(&mut self, block: u64, flat: u64) {
+    /// `block` at instant `now_ns` (preloads pass 0: pre-experiment data is
+    /// "as old as the run").
+    pub fn on_program(&mut self, block: u64, flat: u64, now_ns: u64) {
         let b = block as usize;
         let had_garbage = self.garbage(b) > 0;
         if had_garbage {
@@ -130,6 +176,7 @@ impl ValidPageIndex {
         self.programmed[b] += 1;
         self.valid[b] += 1;
         self.total_valid += 1;
+        self.last_program_ns[b] = self.last_program_ns[b].max(now_ns);
         if had_garbage {
             self.bucket_insert(self.valid[b], block as u32);
         }
@@ -174,6 +221,8 @@ impl ValidPageIndex {
         self.total_valid -= self.valid[b] as u64;
         self.valid[b] = 0;
         self.programmed[b] = 0;
+        self.erase_counts[b] += 1;
+        self.erase_events.push(block);
         if let Some(t) = &mut self.groups {
             for (g, (programmed, valid)) in std::mem::take(&mut t.by_block[b]) {
                 let g = g as usize;
@@ -260,6 +309,62 @@ impl ValidPageIndex {
             .map(|&block| block as u64)
     }
 
+    /// Erase cycles recorded for `block` — the per-block wear counter the
+    /// dies also track, mirrored here so wear queries never walk the dies.
+    pub fn block_erase_count(&self, block: u64) -> u64 {
+        self.erase_counts
+            .get(block as usize)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Drains the blocks erased since the previous drain, one entry per
+    /// erase in execution order. The translation layer feeds these into its
+    /// incrementally maintained min-wear placement structure.
+    pub fn take_erased_blocks(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.erase_events)
+    }
+
+    /// Instant (ns) of the last page program that landed in `block`.
+    pub fn last_program_ns_of(&self, block: u64) -> u64 {
+        self.last_program_ns
+            .get(block as usize)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// The reclaimable block maximizing the classic cost-benefit score
+    /// `age × garbage / valid` at instant `now_ns`, where `age` is the time
+    /// since the block last absorbed a program: stale blocks full of
+    /// garbage are the best victims, hot blocks about to gather more
+    /// garbage are the worst. `None` when no block holds garbage.
+    ///
+    /// Walks only the garbage buckets — O(blocks with garbage), never a
+    /// device rescan — with exact integer cross-multiplied comparison so
+    /// the pick is deterministic (score ties go to the first candidate in
+    /// (valid-level, block-index) order).
+    pub fn cost_benefit_victim(&self, now_ns: u64) -> Option<u64> {
+        let mut best: Option<(u128, u128, u32)> = None;
+        for &level in &self.occupied {
+            for &block in &self.buckets[level as usize] {
+                let b = block as usize;
+                let age = now_ns.saturating_sub(self.last_program_ns[b]).max(1) as u128;
+                let numerator = age * self.garbage(b) as u128;
+                let denominator = self.valid[b].max(1) as u128;
+                let better = match best {
+                    None => true,
+                    // score = num/den; compare num_a * den_b vs num_b * den_a
+                    // exactly instead of dividing.
+                    Some((bn, bd, _)) => numerator * bd > bn * denominator,
+                };
+                if better {
+                    best = Some((numerator, denominator, block));
+                }
+            }
+        }
+        best.map(|(_, _, block)| block as u64)
+    }
+
     /// Pages per block the index was built for.
     pub fn pages_per_block(&self) -> u32 {
         self.pages_per_block
@@ -275,7 +380,7 @@ mod tests {
         let mut idx = ValidPageIndex::new(4, 8);
         // Fully valid blocks never appear as victims.
         for _ in 0..8 {
-            idx.on_program(0, 0);
+            idx.on_program(0, 0, 0);
         }
         assert_eq!(idx.valid_in(0), 8);
         assert_eq!(idx.min_valid_garbage_block(), None);
@@ -291,7 +396,7 @@ mod tests {
         let mut idx = ValidPageIndex::new(4, 8);
         for block in [1u64, 2, 3] {
             for _ in 0..4 {
-                idx.on_program(block, 0);
+                idx.on_program(block, 0, 0);
             }
         }
         idx.on_invalidate(1, 0); // 3 valid, 1 garbage
@@ -312,14 +417,14 @@ mod tests {
     fn erase_clears_membership_and_totals() {
         let mut idx = ValidPageIndex::new(2, 4);
         for _ in 0..4 {
-            idx.on_program(1, 0);
+            idx.on_program(1, 0, 0);
         }
         idx.on_invalidate(1, 0);
         idx.on_erase(1);
         assert_eq!(idx.min_valid_garbage_block(), None);
         assert_eq!(idx.total_valid(), 0);
         // The block is reusable from scratch.
-        idx.on_program(1, 0);
+        idx.on_program(1, 0, 0);
         assert_eq!(idx.valid_in(1), 1);
     }
 
@@ -332,7 +437,7 @@ mod tests {
         idx.enable_group_tracking(2, 4);
         assert!(idx.tracks_groups());
         for flat in 0..4u64 {
-            idx.on_program(0, flat);
+            idx.on_program(0, flat, 0);
         }
         assert_eq!(idx.group_programmed_pages(0), 2);
         assert_eq!(idx.group_valid_pages(1), 2);
@@ -360,8 +465,8 @@ mod tests {
         // striped layout where a group crosses a block row.
         let mut idx = ValidPageIndex::new(2, 4);
         idx.enable_group_tracking(2, 2);
-        idx.on_program(0, 0);
-        idx.on_program(1, 1);
+        idx.on_program(0, 0, 0);
+        idx.on_program(1, 1, 0);
         idx.on_invalidate(0, 0);
         idx.on_invalidate(1, 1);
         idx.on_erase(0);
@@ -375,10 +480,10 @@ mod tests {
     fn reprogramming_a_garbage_block_moves_its_bucket() {
         let mut idx = ValidPageIndex::new(2, 8);
         for _ in 0..3 {
-            idx.on_program(0, 0);
+            idx.on_program(0, 0, 0);
         }
         idx.on_invalidate(0, 0); // 2 valid, 1 garbage
-        idx.on_program(0, 0); // 3 valid, 1 garbage — bucket must move 2 → 3
+        idx.on_program(0, 0, 0); // 3 valid, 1 garbage — bucket must move 2 → 3
         assert_eq!(idx.valid_in(0), 3);
         assert_eq!(idx.garbage_in(0), 1);
         assert_eq!(idx.min_valid_garbage_block(), Some(0));

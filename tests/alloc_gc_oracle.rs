@@ -1,15 +1,17 @@
-//! Property test: the incremental free-space and valid-page accounting
-//! always equals brute-force recounts from the backbone, under arbitrary
-//! write / overwrite / journal / GC interleavings, for every placement and
-//! GC-victim policy combination.
+//! Property test: the incremental free-space, valid-page, wear, and
+//! hot/cold accounting always equals brute-force recounts from the
+//! backbone, under arbitrary write / overwrite / journal / GC
+//! interleavings, for every placement × GC-victim policy combination (with
+//! and without hot/cold separation).
 //!
 //! The oracle recomputes everything from primary state — the mapping
-//! table, die page states — so a divergence pinpoints a bug in the
-//! incremental bookkeeping (free list, reverse index, valid-page buckets,
-//! occupancy gauges) rather than in the oracle. Failed operations (flash
-//! exhaustion, NAND programming-rule violations on recycled-but-unerased
-//! groups) are tolerated: the invariants must hold *especially* after an
-//! op is rejected partway through.
+//! table, die page states, die erase counters — so a divergence pinpoints
+//! a bug in the incremental bookkeeping (free list, reverse index,
+//! valid-page buckets, occupancy gauges, row-wear ledger, overwrite
+//! counts) rather than in the oracle. Failed operations (flash exhaustion,
+//! NAND programming-rule violations on recycled-but-unerased groups) are
+//! tolerated: the invariants must hold *especially* after an op is
+//! rejected partway through.
 //!
 //! Case count defaults to 256 and can be raised via `FA_ORACLE_CASES`
 //! (CI runs the release suite with more).
@@ -29,7 +31,11 @@ use std::collections::BTreeSet;
 /// A deliberately small device (2 channels × 8 blocks × 16 pages, 2-page
 /// groups → 128 groups) so overwrites, GC, and exhaustion all happen
 /// within a short random walk.
-fn oracle_config(placement: PlacementPolicy, gc_victim: GcVictimPolicy) -> FlashAbacusConfig {
+fn oracle_config(
+    placement: PlacementPolicy,
+    gc_victim: GcVictimPolicy,
+    hot_threshold: Option<u32>,
+) -> FlashAbacusConfig {
     let mut config = FlashAbacusConfig::tiny_for_tests(SchedulerPolicy::IntraO3);
     config.flash_geometry = FlashGeometry {
         channels: 2,
@@ -46,11 +52,15 @@ fn oracle_config(placement: PlacementPolicy, gc_victim: GcVictimPolicy) -> Flash
     config.journal_interval = SimDuration::from_ms(1);
     config.placement = placement;
     config.gc_victim = gc_victim;
+    config.hot_overwrite_threshold = hot_threshold;
     config
 }
 
 /// Checks every incremental structure against a from-scratch recount.
-fn check_invariants(v: &Flashvisor) -> Result<(), String> {
+/// `shadow_overwrites` is the test harness's independently maintained
+/// per-logical-group overwrite ledger (the brute-force side of the
+/// hot/cold classification check).
+fn check_invariants(v: &Flashvisor, shadow_overwrites: &[u32]) -> Result<(), String> {
     let config = *v.config();
     let geometry = config.flash_geometry;
     let total_groups = config.total_page_groups();
@@ -74,7 +84,8 @@ fn check_invariants(v: &Flashvisor) -> Result<(), String> {
     }
 
     // 3. Free-pool soundness: the free set is duplicate-free, sized like
-    //    the O(1) counter says, and disjoint from every mapped group.
+    //    the O(1) counter says, and disjoint from every mapped group, every
+    //    reserved group, and the hot reserve.
     let free = v.freespace().debug_free_groups();
     prop_assert_eq!(free.len() as u64, v.free_physical_groups());
     let free_set: BTreeSet<u64> = free.iter().copied().collect();
@@ -83,8 +94,36 @@ fn check_invariants(v: &Flashvisor) -> Result<(), String> {
         free_set.is_disjoint(&mapped),
         "free pool intersects mapped groups"
     );
+    let hot_reserve: BTreeSet<u64> = v.hot_reserved_groups().into_iter().collect();
+    prop_assert_eq!(hot_reserve.len(), v.hot_reserved_groups().len());
+    prop_assert!(
+        free_set.is_disjoint(&hot_reserve),
+        "free pool intersects the hot reserve"
+    );
+    prop_assert!(
+        hot_reserve.is_disjoint(&mapped),
+        "hot reserve intersects mapped groups"
+    );
+    for &g in free_set.iter().chain(hot_reserve.iter()) {
+        prop_assert!(
+            !v.freespace().is_reserved(g),
+            "reserved group {g} escaped into the pool or hot reserve"
+        );
+    }
 
-    // 4. Valid-page index vs brute-force recount from die page states, at
+    // 4. Journal-row fencing: the reserved metadata row is permanently
+    //    outside every data path — never free, never mapped.
+    let journal_row = config
+        .journal_metadata_row()
+        .expect("oracle device has >1 row");
+    let (jlow, jhigh) = config.block_row_group_range(journal_row);
+    for g in jlow..jhigh.min(total_groups) {
+        prop_assert!(v.freespace().is_reserved(g), "journal group {g} unreserved");
+        prop_assert!(!free_set.contains(&g), "journal group {g} in the pool");
+        prop_assert!(!mapped.contains(&g), "journal group {g} mapped to data");
+    }
+
+    // 5. Valid-page index vs brute-force recount from die page states, at
     //    every layer: per block, per channel, and backbone-wide.
     let index = v.backbone().valid_index();
     for b in 0..geometry.total_blocks() {
@@ -103,7 +142,7 @@ fn check_invariants(v: &Flashvisor) -> Result<(), String> {
         v.backbone().recount_valid_pages()
     );
 
-    // 5. Greedy victim pick matches the brute-force argmin over blocks
+    // 6. Greedy victim pick matches the brute-force argmin over blocks
     //    with at least one invalid page: fewest valid, smallest index.
     let mut expected: Option<(u32, u64)> = None;
     for b in 0..geometry.total_blocks() {
@@ -127,26 +166,45 @@ fn check_invariants(v: &Flashvisor) -> Result<(), String> {
         expected.map(|(_, b)| b)
     );
 
-    // 6. Occupancy gauges: allocated = total − free, classified exactly
-    //    like the free pool's complement.
+    // 7. Wear ledger vs brute-force recount from the die erase counters:
+    //    the valid-page index's per-block counts mirror the dies exactly,
+    //    and the free-space manager's per-row ledger (drained lazily
+    //    through Flashvisor) sums them row by row. Lazy drains are flushed
+    //    by every journal/GC reclaim, so at op boundaries the ledgers
+    //    agree.
+    let blocks_per_die = geometry.blocks_per_die() as u64;
+    let mut row_recount = vec![0u64; blocks_per_die as usize];
+    for b in 0..geometry.total_blocks() {
+        let (ch, die, block) = geometry.block_index_to_addr(b);
+        let die_ref = v.backbone().channel(ch).unwrap().die(die).unwrap();
+        let die_count = die_ref.erase_count(block);
+        prop_assert_eq!(index.block_erase_count(b), die_count);
+        row_recount[(b % blocks_per_die) as usize] += die_count;
+    }
+    prop_assert_eq!(v.freespace().row_wear(), row_recount.as_slice());
+
+    // 8. Occupancy gauges: allocated = total − free − reserved, classified
+    //    exactly like the free pool's complement (the hot reserve counts
+    //    as allocated — those groups left the pool).
     let occupancy = v.placement_occupancy();
     let occupied: u64 = occupancy.iter().sum();
-    prop_assert_eq!(occupied + v.free_physical_groups(), total_groups);
+    let reserved = v.freespace().reserved_count();
+    prop_assert_eq!(occupied + v.free_physical_groups() + reserved, total_groups);
     let mut per_class = vec![0u64; v.freespace().class_count()];
     for g in 0..total_groups {
-        if !free_set.contains(&g) {
+        if !free_set.contains(&g) && !v.freespace().is_reserved(g) {
             per_class[v.freespace().stripe_class(g)] += 1;
         }
     }
     prop_assert_eq!(occupancy, per_class.as_slice());
 
-    // 7. Group tracking vs brute force, and the no-leak invariant: recount
+    // 9. Group tracking vs brute force, and the no-leak invariant: recount
     //    every group's programmed/valid pages from the die page states.
     //    A *leaked* group would be simultaneously unmapped, absent from
-    //    the free pool, and fully erased — space no path can ever reach
-    //    again. The group-reclaim completeness fix guarantees erases
-    //    return such groups to the allocator, so the combination must
-    //    never exist.
+    //    the free pool, unreserved, outside the hot reserve, and fully
+    //    erased — space no path can ever reach again. The group-reclaim
+    //    completeness fix guarantees erases return such groups to the
+    //    allocator, so the combination must never exist.
     let pages_per_group = config.pages_per_group();
     let index = v.backbone().valid_index();
     for g in 0..total_groups {
@@ -176,17 +234,40 @@ fn check_invariants(v: &Flashvisor) -> Result<(), String> {
         prop_assert_eq!(index.group_programmed_pages(g), programmed);
         prop_assert_eq!(index.group_valid_pages(g), valid);
         let unmapped = !mapped.contains(&g);
-        let leaked = unmapped && !free_set.contains(&g) && programmed == 0;
+        let leaked = unmapped
+            && !free_set.contains(&g)
+            && !v.freespace().is_reserved(g)
+            && !hot_reserve.contains(&g)
+            && programmed == 0;
         prop_assert!(
             !leaked,
-            "group {} leaked: unmapped, not free, fully erased",
+            "group {} leaked: unmapped, not free, not reserved, fully erased",
             g
         );
     }
 
-    // 8. Per-owner attribution is complete: summing the owner-tagged
-    //    command counts and payload bytes reproduces the untagged backbone
-    //    totals exactly.
+    // 10. Hot/cold classification vs the shadow overwrite ledger: the
+    //     harness counts every overwrite it performed independently, and
+    //     Flashvisor's incremental counts (and therefore the hot/cold
+    //     split) must agree, group by group.
+    for lg in 0..total_groups {
+        prop_assert_eq!(v.overwrite_count(lg), shadow_overwrites[lg as usize]);
+        let expect_hot = match config.hot_overwrite_threshold {
+            Some(t) => shadow_overwrites[lg as usize] >= t,
+            None => false,
+        };
+        prop_assert_eq!(v.is_hot_group(lg), expect_hot);
+    }
+    let fv = v.stats();
+    prop_assert_eq!(
+        fv.overwritten_groups,
+        shadow_overwrites.iter().map(|&c| c as u64).sum::<u64>()
+    );
+    prop_assert!(fv.hot_steered_writes <= fv.hot_group_writes);
+
+    // 11. Per-owner attribution is complete: summing the owner-tagged
+    //     command counts and payload bytes reproduces the untagged backbone
+    //     totals exactly.
     let owner_stats = v.backbone().owner_stats();
     let totals = v.backbone().stats();
     prop_assert_eq!(
@@ -229,33 +310,36 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(oracle_cases()))]
 
     /// Random write/overwrite/journal/GC interleavings never desynchronize
-    /// the incremental metadata from the brute-force recounts.
+    /// the incremental metadata from the brute-force recounts, for any
+    /// placement × victim-policy × hot/cold combination.
     #[test]
     fn incremental_metadata_always_equals_brute_force_recounts(
-        striped in prop::bool::ANY,
-        greedy in prop::bool::ANY,
+        placement_pick in 0usize..3,
+        gc_pick in 0usize..3,
+        hot_pick in 0u32..4,
         steps in 24usize..56,
         seed in 0u64..u64::MAX,
     ) {
-        let placement = if striped {
-            PlacementPolicy::ChannelStriped
-        } else {
-            PlacementPolicy::FirstFree
-        };
-        let gc_victim = if greedy {
-            GcVictimPolicy::GreedyMinValid
-        } else {
-            GcVictimPolicy::RoundRobin
-        };
-        let config = oracle_config(placement, gc_victim);
+        let placement = PlacementPolicy::all()[placement_pick];
+        let gc_victim = GcVictimPolicy::all()[gc_pick];
+        // 0 disables hot/cold separation; 1..=3 are thresholds.
+        let hot_threshold = (hot_pick > 0).then_some(hot_pick);
+        let config = oracle_config(placement, gc_victim, hot_threshold);
         let mut v = Flashvisor::new(config);
         let mut s = Storengine::new(config);
         let mut sp = Scratchpad::new(&PlatformSpec::paper_prototype());
         let mut rng = seed;
         let mut t_us = 1u64;
         let mut successes = 0usize;
+        // The brute-force side of the hot/cold check: the walk's own
+        // overwrite ledger, kept without reading Flashvisor's counters on
+        // the success path. A write that fails partway commits an
+        // unknowable prefix, so only then the ledger resyncs from the
+        // device.
+        let total_groups = config.total_page_groups();
+        let mut shadow = vec![0u32; total_groups as usize];
 
-        check_invariants(&v)?;
+        check_invariants(&v, &shadow)?;
         for _ in 0..steps {
             t_us += 37;
             let now = SimTime::from_us(t_us);
@@ -266,8 +350,21 @@ proptest! {
                 0..=4 => {
                     let lg = splitmix64(&mut rng) % 24;
                     let groups = 1 + splitmix64(&mut rng) % 4;
+                    let mapped_before: Vec<u64> = (lg..lg + groups)
+                        .filter(|g| v.physical_group_of(*g).is_some())
+                        .collect();
                     if v.write_section(now, lg * group_bytes, groups * group_bytes, &mut sp).is_ok() {
                         successes += 1;
+                        for g in mapped_before {
+                            shadow[g as usize] += 1;
+                        }
+                    } else {
+                        // The failed op overwrote an unknowable prefix of
+                        // the range; adopt the device's counts for exactly
+                        // the groups the op touched.
+                        for g in lg..lg + groups {
+                            shadow[g as usize] = v.overwrite_count(g);
+                        }
                     }
                 }
                 // Occasional journaling (programs metadata pages).
@@ -282,10 +379,64 @@ proptest! {
                     }
                 }
             }
-            check_invariants(&v)?;
+            check_invariants(&v, &shadow)?;
         }
         // The walk starts on an empty device, so the early writes always
         // land: a silent all-failure walk would test nothing.
         prop_assert!(successes > 0, "no operation ever succeeded");
     }
+}
+
+/// The wear-leveling payoff, pinned as a deterministic unit test: on a
+/// churn workload that repeatedly overwrites a small logical window and
+/// lets GC reclaim the garbage, `LeastWorn` placement spreads erases
+/// across the block rows while `FirstFree`'s recycled-FIFO order keeps
+/// hammering the same rows — so the erase-count spread (max − min over
+/// data blocks) narrows.
+#[test]
+fn least_worn_narrows_erase_spread_vs_first_free() {
+    fn churn(placement: PlacementPolicy) -> (u64, u64, f64) {
+        let mut config = oracle_config(placement, GcVictimPolicy::GreedyMinValid, None);
+        config.gc_low_watermark = 0.55;
+        let mut v = Flashvisor::new(config);
+        let mut s = Storengine::new(config);
+        let mut sp = Scratchpad::new(&PlatformSpec::paper_prototype());
+        let group_bytes = config.page_group_bytes;
+        let mut now_us = 1u64;
+        for round in 0..400u64 {
+            let lg = round % 16;
+            now_us += 53;
+            let _ = v.write_section(
+                SimTime::from_us(now_us),
+                lg * group_bytes,
+                group_bytes,
+                &mut sp,
+            );
+            while s.gc_needed(&v) {
+                now_us += 211;
+                if s.collect_garbage(SimTime::from_us(now_us), &mut v).is_err() {
+                    break;
+                }
+            }
+        }
+        // Wear over the data blocks (the reserved journal row is excluded;
+        // one shared definition in Flashvisor::data_block_wear).
+        let wear = v.data_block_wear();
+        (wear.min_erases, wear.max_erases, wear.stddev_erases)
+    }
+
+    let (ff_min, ff_max, ff_stddev) = churn(PlacementPolicy::FirstFree);
+    let (lw_min, lw_max, lw_stddev) = churn(PlacementPolicy::LeastWorn);
+    assert!(
+        lw_max - lw_min < ff_max - ff_min,
+        "LeastWorn spread {}..{} should be narrower than FirstFree {}..{}",
+        lw_min,
+        lw_max,
+        ff_min,
+        ff_max,
+    );
+    assert!(
+        lw_stddev < ff_stddev,
+        "LeastWorn stddev {lw_stddev} should beat FirstFree {ff_stddev}"
+    );
 }
