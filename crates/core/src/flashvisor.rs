@@ -12,7 +12,7 @@ use crate::config::FlashAbacusConfig;
 use crate::error::FaError;
 use crate::freespace::{FreeSpaceManager, PlacementPolicy};
 use crate::rangelock::{LockId, LockMode, RangeLockTable};
-use fa_flash::{FlashBackbone, FlashCommand, FlashError, OwnerId};
+use fa_flash::{FlashBackbone, FlashCommand, OwnerId};
 use fa_platform::mem::Scratchpad;
 use fa_sim::resource::FifoServer;
 use fa_sim::time::{SimDuration, SimTime};
@@ -125,6 +125,9 @@ pub struct Flashvisor {
     /// Flashvisor's own LWP time: translations and scheduling decisions
     /// serialize here.
     cpu: FifoServer,
+    /// Nanoseconds per LWP cycle, derived once from the platform clock —
+    /// `charge_cpu` runs per request, and the division is not free there.
+    lwp_ns_per_cycle: f64,
     /// Mapping-table entries modified since the last Storengine journal
     /// dump (incremental journaling writes only these).
     dirty_mapping_entries: u64,
@@ -171,6 +174,7 @@ impl Flashvisor {
             hot_reserve: VecDeque::new(),
             locks: RangeLockTable::new(),
             cpu: FifoServer::new("flashvisor"),
+            lwp_ns_per_cycle: 1.0e9 / config.platform.lwp_freq_hz as f64,
             dirty_mapping_entries: 0,
             stats: FlashvisorStats::default(),
         }
@@ -251,8 +255,7 @@ impl Flashvisor {
     /// Charges Flashvisor CPU time for one unit of work of `cycles` cycles
     /// starting no earlier than `now`, returning when that work is done.
     fn charge_cpu(&mut self, now: SimTime, cycles: u64) -> SimTime {
-        let per_cycle_ns = 1.0e9 / self.config.platform.lwp_freq_hz as f64;
-        let dur = SimDuration::from_ns_f64(cycles as f64 * per_cycle_ns);
+        let dur = SimDuration::from_ns_f64(cycles as f64 * self.lwp_ns_per_cycle);
         self.cpu.serve(now, dur).end
     }
 
@@ -498,18 +501,12 @@ impl Flashvisor {
             // Invalidate the previous location, if any.
             let old = self.logical_slot(lg)?;
             if let Some(old) = old {
-                for i in 0..pages {
-                    let addr = geometry.flat_to_addr(old * pages + i);
-                    match self.backbone.invalidate(addr) {
-                        Ok(()) => {}
-                        // An unwritten trailing page of a partially used
-                        // group is the one benign case; anything else — an
-                        // out-of-range address, a worn die — is a real
-                        // fault the caller must see.
-                        Err(FlashError::ReadUnwritten(_)) => {}
-                        Err(e) => return Err(e.into()),
-                    }
-                }
+                // Vectored invalidation of the superseded group: unwritten
+                // trailing pages of a partially used group are skipped
+                // inside the backbone; anything else — an out-of-range
+                // address, a worn die — is a real fault the caller must
+                // see.
+                self.backbone.invalidate_group(old * pages, pages)?;
                 self.stats.overwritten_groups += 1;
                 self.overwrite_counts[lg as usize] =
                     self.overwrite_counts[lg as usize].saturating_add(1);

@@ -435,16 +435,25 @@ impl FreeSpaceManager {
             return 0;
         }
         let in_range = |g: &u64| *g < low || *g >= high;
-        match &mut self.pool {
-            FreePool::FirstFree { recycled, .. } => recycled.retain(in_range),
-            FreePool::Striped { queues, .. } => {
-                for q in queues.iter_mut() {
-                    q.retain(in_range);
+        // Pool membership is in lockstep with `free_flags`, so when no
+        // in-range group is free there is nothing to pull out and the
+        // O(free-pool) retain sweeps can be skipped — the common case for a
+        // GC pass reclaiming a fully-garbage row.
+        if (low..high).any(|g| self.free_flags[g as usize]) {
+            let (row_low, row_high) = (self.row_of_group(low), self.row_of_group(high - 1));
+            match &mut self.pool {
+                FreePool::FirstFree { recycled, .. } => recycled.retain(in_range),
+                FreePool::Striped { queues, .. } => {
+                    for q in queues.iter_mut() {
+                        q.retain(in_range);
+                    }
                 }
-            }
-            FreePool::LeastWorn { queues, .. } => {
-                for q in queues.iter_mut() {
-                    q.retain(in_range);
+                FreePool::LeastWorn { queues, .. } => {
+                    // In-range groups only ever sit in their own rows'
+                    // queues, so the sweep is exact over just those rows.
+                    for row in row_low..=row_high {
+                        queues[row as usize].retain(in_range);
+                    }
                 }
             }
         }

@@ -134,6 +134,9 @@ pub struct GcPassProgress {
 pub struct Storengine {
     config: FlashAbacusConfig,
     cpu: FifoServer,
+    /// Nanoseconds per LWP cycle, derived once from the platform clock —
+    /// `charge_cpu` runs per journal page and per GC slice.
+    lwp_ns_per_cycle: f64,
     /// Round-robin cursor over physical blocks (channel, die, block).
     victim_cursor: u64,
     /// Running index of journal pages written, so successive dumps append
@@ -149,6 +152,7 @@ impl Storengine {
         Storengine {
             config,
             cpu: FifoServer::new("storengine"),
+            lwp_ns_per_cycle: 1.0e9 / config.platform.lwp_freq_hz as f64,
             victim_cursor: 0,
             journal_cursor: 0,
             last_journal: SimTime::ZERO,
@@ -172,9 +176,11 @@ impl Storengine {
     }
 
     fn charge_cpu(&mut self, now: SimTime, cycles: u64) -> SimTime {
-        let per_cycle_ns = 1.0e9 / self.config.platform.lwp_freq_hz as f64;
         self.cpu
-            .serve(now, SimDuration::from_ns_f64(cycles as f64 * per_cycle_ns))
+            .serve(
+                now,
+                SimDuration::from_ns_f64(cycles as f64 * self.lwp_ns_per_cycle),
+            )
             .end
     }
 

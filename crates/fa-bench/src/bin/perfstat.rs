@@ -4,13 +4,13 @@
 //! ablation (foreground read p99 under concurrent GC, synchronous vs
 //! backgrounded vs budgeted) and the storage-policy ablation (placement ×
 //! GC-victim × hot/cold wear spread and migration efficiency). Written to
-//! `BENCH_PR5.json`.
+//! `BENCH_PR6.json`.
 //!
 //! The wall-clock sections measure the simulator, not the simulated
 //! hardware; the `qos_ablation` and `policy_ablation` sections are
 //! simulated time and exactly reproducible. Knobs: `FA_DATA_SCALE`
 //! (workload size divisor), `FA_THREADS` (parallel campaign width),
-//! `FA_PERFSTAT_OUT` (output path, default `BENCH_PR5.json` in the
+//! `FA_BENCH_OUT` (output path, default `BENCH_PR6.json` in the
 //! working directory).
 //!
 //! Regenerate with:
@@ -22,7 +22,8 @@ use fa_bench::experiments::fig12_cdf::{gc_pressure_workload, qos_ablation_modes,
 use fa_bench::experiments::policy_ablation::{churn_grid, churn_rounds, hot_cold_on_rows};
 use fa_bench::experiments::Campaign;
 use fa_bench::perf::{
-    naive_ready_first, naive_victim_groups, populated_flashvisor, screen_batch, NaiveScanAllocator,
+    hot_path_backbone, hot_path_sweep, hot_path_sweep_tagged, naive_ready_first,
+    naive_victim_groups, populated_flashvisor, screen_batch, NaiveScanAllocator,
 };
 use fa_bench::runner::{campaign_threads, run_pairs_with_threads, ExperimentScale};
 use fa_kernel::chain::ExecutionChain;
@@ -314,6 +315,26 @@ fn main() {
         .map(|&(groups, passes)| time_gc_discovery(groups, passes))
         .collect();
 
+    // Hot-path per-command cost: the same whole-device program → read →
+    // erase sweep with QoS admission and group accounting live on every
+    // command, through the per-command submit path and the batched one.
+    let hot_sweeps = 8u64;
+    let time_sweeps = |sweep: fn(&mut fa_flash::FlashBackbone, SimTime) -> (u64, SimTime)| {
+        let mut backbone = hot_path_backbone();
+        // Warm pass (first touch of the arenas), then the timed ones.
+        let (_, mut t) = sweep(&mut backbone, SimTime::ZERO);
+        let start = Instant::now();
+        let mut commands = 0u64;
+        for _ in 0..hot_sweeps {
+            let (c, next) = sweep(&mut backbone, t);
+            commands += c;
+            t = next;
+        }
+        (commands, start.elapsed().as_secs_f64())
+    };
+    let (tagged_commands, tagged_seconds) = time_sweeps(hot_path_sweep_tagged);
+    let (batched_commands, batched_seconds) = time_sweeps(hot_path_sweep);
+
     // The QoS ablation (simulated time, deterministic): foreground read
     // p99 under concurrent GC, synchronous vs background vs budgeted.
     let qos_apps = gc_pressure_workload();
@@ -342,7 +363,7 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"pr\": 5,");
+    let _ = writeln!(json, "  \"pr\": 6,");
     let _ = writeln!(json, "  \"data_scale\": {},", scale.data_scale);
     let _ = writeln!(json, "  \"threads\": {threads},");
     json.push_str("  \"campaigns\": [\n");
@@ -360,6 +381,59 @@ fn main() {
         json.push_str(if i + 1 < campaigns.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n");
+    // The PR6 recovery table: the heterogeneous campaign on the pre-PR6
+    // tree (same machine, same scale — measured at the parent commit
+    // before the data-path rework) against this run, plus the hot-path
+    // per-command cost through both submit paths. The batched path is the
+    // one the campaigns use; the per-command path is kept as its baseline.
+    const BEFORE_HETEROGENEOUS_SERIAL_S: f64 = 8.0055;
+    let after = campaigns
+        .iter()
+        .find(|c| c.name == "heterogeneous")
+        .expect("heterogeneous campaign present");
+    json.push_str("  \"data_path_recovery\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"heterogeneous_serial_seconds_before\": {BEFORE_HETEROGENEOUS_SERIAL_S:.4},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"heterogeneous_serial_seconds_after\": {:.4},",
+        after.serial_seconds
+    );
+    let _ = writeln!(
+        json,
+        "    \"speedup\": {:.3},",
+        BEFORE_HETEROGENEOUS_SERIAL_S / after.serial_seconds.max(1e-9)
+    );
+    let _ = writeln!(
+        json,
+        "    \"ms_per_pair_before\": {:.3},",
+        BEFORE_HETEROGENEOUS_SERIAL_S * 1e3 / after.pairs as f64
+    );
+    let _ = writeln!(
+        json,
+        "    \"ms_per_pair_after\": {:.3}",
+        after.serial_seconds * 1e3 / after.pairs as f64
+    );
+    json.push_str("  },\n");
+    json.push_str("  \"hot_path\": {\n");
+    let _ = writeln!(json, "    \"sweeps\": {hot_sweeps},");
+    let _ = writeln!(
+        json,
+        "    \"per_command_path\": {{\"commands\": {}, \"seconds\": {:.4}, \"ns_per_command\": {:.1}}},",
+        tagged_commands,
+        tagged_seconds,
+        tagged_seconds * 1e9 / tagged_commands as f64
+    );
+    let _ = writeln!(
+        json,
+        "    \"batched_path\": {{\"commands\": {}, \"seconds\": {:.4}, \"ns_per_command\": {:.1}}}",
+        batched_commands,
+        batched_seconds,
+        batched_seconds * 1e9 / batched_commands as f64
+    );
+    json.push_str("  },\n");
     json.push_str("  \"frontier_vs_rescan\": [\n");
     for (i, f) in frontier.iter().enumerate() {
         // Clamp the denominator: a sub-resolution timing must not emit an
@@ -501,8 +575,7 @@ fn main() {
     );
     json.push_str("}\n");
 
-    let out_path =
-        std::env::var("FA_PERFSTAT_OUT").unwrap_or_else(|_| "BENCH_PR5.json".to_string());
+    let out_path = std::env::var("FA_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR6.json".to_string());
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     println!("{json}");
     eprintln!("perfstat: wrote {out_path}");

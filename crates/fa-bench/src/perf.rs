@@ -10,10 +10,12 @@
 //! (The oracle *property tests* deliberately do not use these helpers:
 //! their oracles must stay independent of the code under test.)
 
+use fa_flash::{FlashBackbone, FlashCommand, FlashGeometry, FlashTiming, OwnerId, QosBudgets};
 use fa_kernel::chain::{ExecutionChain, ScreenRef, ScreenState};
 use fa_kernel::instance::{instantiate_many, InstancePlan};
 use fa_kernel::model::{AppId, Application, ApplicationBuilder, DataSection};
 use fa_platform::lwp::InstructionMix;
+use fa_sim::time::SimTime;
 use flashabacus::config::FlashAbacusConfig;
 use flashabacus::scheduler::SchedulerPolicy;
 use flashabacus::Flashvisor;
@@ -155,6 +157,117 @@ pub fn populated_flashvisor(groups: u64) -> Flashvisor {
     v
 }
 
+/// A backbone with the PR4/PR5 data-path features a campaign pays for on
+/// every command — per-owner QoS tag budgets and valid-page group
+/// accounting — shared by `perfstat`'s per-command-cost section and the
+/// `hot_path` microbenchmark so both price the same configuration.
+pub fn hot_path_backbone() -> FlashBackbone {
+    let geometry = FlashGeometry {
+        channels: 4,
+        packages_per_channel: 1,
+        dies_per_package: 2,
+        planes_per_die: 1,
+        blocks_per_plane: 32,
+        pages_per_block: 64,
+        page_bytes: 4096,
+    };
+    let mut backbone = FlashBackbone::new(
+        geometry,
+        FlashTiming::fast_for_tests(),
+        2.5e9,
+        16,
+        1_000_000,
+    );
+    backbone.set_qos_budgets(QosBudgets {
+        per_owner: Some(8),
+        background: Some(2),
+    });
+    backbone.enable_group_tracking(4);
+    backbone
+}
+
+/// One full program → read → erase sweep of the device through
+/// `submit_batch`, in 64-page stripes of consecutive flat pages (the write
+/// path's page-group shape), with owner accounting and QoS admission live
+/// on every command. Returns (commands submitted, simulated completion).
+pub fn hot_path_sweep(backbone: &mut FlashBackbone, mut now: SimTime) -> (u64, SimTime) {
+    let geometry = *backbone.geometry();
+    let total_pages = geometry.total_pages();
+    let mut commands = 0u64;
+    for first in (0..total_pages).step_by(64) {
+        let done = backbone
+            .submit_batch(
+                now,
+                (first..first + 64).map(|flat| FlashCommand::program(geometry.flat_to_addr(flat))),
+                OwnerId::Kernel(0),
+            )
+            .expect("hot-path program stripe");
+        now = done.finished;
+        commands += 64;
+    }
+    for first in (0..total_pages).step_by(64) {
+        let done = backbone
+            .submit_batch(
+                now,
+                (first..first + 64).map(|flat| FlashCommand::read(geometry.flat_to_addr(flat))),
+                OwnerId::Kernel(0),
+            )
+            .expect("hot-path read stripe");
+        now = done.finished;
+        commands += 64;
+    }
+    for block in 0..geometry.total_blocks() {
+        let (channel, die, block) = geometry.block_index_to_addr(block);
+        let done = backbone
+            .submit_batch(
+                now,
+                std::iter::once(FlashCommand::erase(fa_flash::PhysicalPageAddr::new(
+                    channel, die, block, 0,
+                ))),
+                OwnerId::Gc,
+            )
+            .expect("hot-path erase");
+        now = done.finished;
+        commands += 1;
+    }
+    (commands, now)
+}
+
+/// The same sweep submitted one command at a time through `submit_tagged`
+/// — the pre-batching data path, kept as the baseline the batched
+/// accounting is priced against in `BENCH_PR6.json`.
+pub fn hot_path_sweep_tagged(backbone: &mut FlashBackbone, mut now: SimTime) -> (u64, SimTime) {
+    let geometry = *backbone.geometry();
+    let total_pages = geometry.total_pages();
+    let mut commands = 0u64;
+    for flat in 0..total_pages {
+        let addr = geometry.flat_to_addr(flat);
+        now = backbone
+            .submit_tagged(now, FlashCommand::program(addr), OwnerId::Kernel(0))
+            .expect("hot-path program")
+            .finished;
+        commands += 1;
+    }
+    for flat in 0..total_pages {
+        let addr = geometry.flat_to_addr(flat);
+        now = backbone
+            .submit_tagged(now, FlashCommand::read(addr), OwnerId::Kernel(0))
+            .expect("hot-path read")
+            .finished;
+        commands += 1;
+    }
+    for block in 0..geometry.total_blocks() {
+        let (channel, die, block) = geometry.block_index_to_addr(block);
+        let addr = fa_flash::PhysicalPageAddr::new(channel, die, block, 0);
+        now = backbone
+            .submit_tagged(now, FlashCommand::erase(addr), OwnerId::Gc)
+            .expect("hot-path erase")
+            .finished;
+        commands += 1;
+    }
+    (commands, now)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,6 +301,22 @@ mod tests {
         let chain = ExecutionChain::new(&apps);
         assert_eq!(chain.total_screens(), 1024);
         assert_eq!(apps.len(), 8);
+    }
+
+    #[test]
+    fn batched_and_tagged_hot_path_sweeps_leave_identical_flash_state() {
+        let mut batched = hot_path_backbone();
+        let mut tagged = hot_path_backbone();
+        let (cb, _) = hot_path_sweep(&mut batched, SimTime::ZERO);
+        let (ct, _) = hot_path_sweep_tagged(&mut tagged, SimTime::ZERO);
+        assert_eq!(cb, ct);
+        assert_eq!(batched.total_valid_pages(), tagged.total_valid_pages());
+        let b = batched.stats();
+        let t = tagged.stats();
+        assert_eq!(
+            (b.reads, b.programs, b.erases),
+            (t.reads, t.programs, t.erases)
+        );
     }
 
     #[test]

@@ -116,11 +116,18 @@ pub struct FlashBackbone {
     /// changes page state. Storengine's GC victim selection reads this.
     valid_index: ValidPageIndex,
     stats: BackboneStats,
-    /// Per-owner command/byte/latency accounting (QoS figures and oracles).
-    owner_stats: BTreeMap<OwnerId, OwnerStats>,
-    /// Every completed read's end-to-end latency in nanoseconds, per owner,
-    /// for tail-latency quantiles (p99 of one kernel under concurrent GC).
-    read_latencies: BTreeMap<OwnerId, Vec<u64>>,
+    /// Per-owner command/byte/latency accounting (QoS figures and oracles),
+    /// dense by [`OwnerId::dense_index`] — the data path updates plain array
+    /// slots instead of map entries.
+    owner_stats: Vec<OwnerStats>,
+    /// Whether the matching `owner_stats` slot has ever received a
+    /// submission, so reporting surfaces exactly the owners that submitted
+    /// (the map semantics the oracles check).
+    owner_touched: Vec<bool>,
+    /// Every completed read's end-to-end latency in nanoseconds, per owner
+    /// (dense by [`OwnerId::dense_index`]), for tail-latency quantiles
+    /// (p99 of one kernel under concurrent GC).
+    read_latencies: Vec<Vec<u64>>,
 }
 
 impl FlashBackbone {
@@ -147,9 +154,23 @@ impl FlashBackbone {
                 geometry.pages_per_block,
             ),
             stats: BackboneStats::default(),
-            owner_stats: BTreeMap::new(),
-            read_latencies: BTreeMap::new(),
+            owner_stats: Vec::new(),
+            owner_touched: Vec::new(),
+            read_latencies: Vec::new(),
         }
+    }
+
+    /// Dense accounting slot for `owner`, growing the per-owner arrays on
+    /// first sight and marking the slot as live.
+    fn owner_slot(&mut self, owner: OwnerId) -> usize {
+        let oi = owner.dense_index();
+        if oi >= self.owner_stats.len() {
+            self.owner_stats.resize_with(oi + 1, OwnerStats::default);
+            self.owner_touched.resize(oi + 1, false);
+            self.read_latencies.resize_with(oi + 1, Vec::new);
+        }
+        self.owner_touched[oi] = true;
+        oi
     }
 
     /// Installs per-owner tag budgets on every channel controller
@@ -263,11 +284,12 @@ impl FlashBackbone {
         if !self.geometry.contains(command.addr) {
             return Err(FlashError::OutOfRange(command.addr));
         }
+        let oi = self.owner_slot(owner);
         let page_bytes = self.geometry.page_bytes as u64;
         let block = self.geometry.block_index(command.addr);
         let flat = self.geometry.addr_to_flat(command.addr);
         let channel = &mut self.channels[command.addr.channel];
-        let by_owner = self.owner_stats.entry(owner).or_default();
+        let by_owner = &mut self.owner_stats[oi];
         let finished = match command.op {
             FlashOp::ReadPage => {
                 let done = channel.execute(now, ChannelOp::Read, command.addr, owner, None)?;
@@ -280,10 +302,7 @@ impl FlashBackbone {
                 let latency_ns = res.end.saturating_since(now).as_ns();
                 by_owner.read_latency_total_ns += latency_ns;
                 by_owner.read_latency_max_ns = by_owner.read_latency_max_ns.max(latency_ns);
-                self.read_latencies
-                    .entry(owner)
-                    .or_default()
-                    .push(latency_ns);
+                self.read_latencies[oi].push(latency_ns);
                 res.end
             }
             FlashOp::ProgramPage => {
@@ -317,21 +336,121 @@ impl FlashBackbone {
     /// returns when the last one finished. Semantically identical to
     /// calling [`FlashBackbone::submit_tagged`] per command at the same
     /// instant, but without a completion record per page — the vectored
-    /// path the multi-page group reads/writes of Flashvisor issue through.
-    /// Stops at the first failing command; commands before it have already
-    /// taken effect.
+    /// path the multi-page group reads/writes of Flashvisor issue through —
+    /// and with the owner and valid-index accounting applied once per batch
+    /// instead of once per page. Stops at the first failing command;
+    /// commands before it have already taken effect.
     pub fn submit_batch(
         &mut self,
         now: SimTime,
         commands: impl IntoIterator<Item = FlashCommand>,
         owner: OwnerId,
     ) -> Result<BatchCompletion, FlashError> {
+        let geometry = self.geometry;
+        let page_bytes = geometry.page_bytes as u64;
+        let now_ns = now.as_ns();
         let mut finished = now;
         let mut count = 0u64;
+        // Accounting accumulated across the batch and applied once at the
+        // end (also before an early error return, so partial batches leave
+        // the same state as the per-command path). The dense owner slot is
+        // claimed lazily: a batch rejected before any command passes the
+        // geometry check leaves no owner record, like the per-command path.
+        let mut slot: Option<usize> = None;
+        let mut acc = OwnerStats::default();
+        let mut programmed: Vec<(u64, u64)> = Vec::new();
+        let mut error: Option<FlashError> = None;
         for command in commands {
-            let completion = self.submit_tagged(now, command, owner)?;
-            finished = finished.max(completion.finished);
+            if !geometry.contains(command.addr) {
+                error = Some(FlashError::OutOfRange(command.addr));
+                break;
+            }
+            let oi = match slot {
+                Some(oi) => oi,
+                None => {
+                    let oi = self.owner_slot(owner);
+                    slot = Some(oi);
+                    oi
+                }
+            };
+            let channel = &mut self.channels[command.addr.channel];
+            match command.op {
+                FlashOp::ReadPage => {
+                    match channel.execute(now, ChannelOp::Read, command.addr, owner, None) {
+                        Ok(done) => {
+                            // Read data crosses the SRIO lanes back out.
+                            let res = self.srio.reserve(done, page_bytes);
+                            acc.reads += 1;
+                            acc.bytes += page_bytes;
+                            let latency_ns = res.end.saturating_since(now).as_ns();
+                            acc.read_latency_total_ns += latency_ns;
+                            acc.read_latency_max_ns = acc.read_latency_max_ns.max(latency_ns);
+                            self.read_latencies[oi].push(latency_ns);
+                            finished = finished.max(res.end);
+                        }
+                        Err(e) => {
+                            error = Some(e);
+                            break;
+                        }
+                    }
+                }
+                FlashOp::ProgramPage => {
+                    // Write data crosses SRIO before it reaches the
+                    // channel; the reservation stands even if the program
+                    // then fails, as on the per-command path.
+                    let res = self.srio.reserve(now, page_bytes);
+                    match channel.execute(res.end, ChannelOp::Program, command.addr, owner, None) {
+                        Ok(done) => {
+                            // Only programs (and the erase below) need the
+                            // block/flat mapping; reads skip the address
+                            // arithmetic entirely.
+                            programmed.push((
+                                geometry.block_index(command.addr),
+                                geometry.addr_to_flat(command.addr),
+                            ));
+                            acc.programs += 1;
+                            acc.bytes += page_bytes;
+                            finished = finished.max(done);
+                        }
+                        Err(e) => {
+                            error = Some(e);
+                            break;
+                        }
+                    }
+                }
+                FlashOp::EraseBlock => {
+                    match channel.execute(now, ChannelOp::Erase, command.addr, owner, None) {
+                        Ok(done) => {
+                            // Flush pending programs first so the valid
+                            // index sees the same order as the per-command
+                            // path.
+                            self.valid_index
+                                .on_program_batch(programmed.drain(..), now_ns);
+                            self.valid_index
+                                .on_erase(geometry.block_index(command.addr));
+                            acc.erases += 1;
+                            finished = finished.max(done);
+                        }
+                        Err(e) => {
+                            error = Some(e);
+                            break;
+                        }
+                    }
+                }
+            }
             count += 1;
+        }
+        self.valid_index
+            .on_program_batch(programmed.drain(..), now_ns);
+        if let Some(oi) = slot {
+            self.stats.reads += acc.reads;
+            self.stats.programs += acc.programs;
+            self.stats.erases += acc.erases;
+            self.stats.srio_bytes += acc.bytes;
+            self.owner_stats[oi].absorb(&acc);
+        }
+        if let Some(e) = error {
+            return Err(e);
         }
         Ok(BatchCompletion {
             submitted: now,
@@ -368,6 +487,56 @@ impl FlashBackbone {
         Ok(())
     }
 
+    /// Marks every page of the physical group starting at flat page
+    /// `first_flat` invalid in one vectored call — exactly equivalent to
+    /// invalidating each page with [`FlashBackbone::invalidate`] while
+    /// skipping unwritten trailing pages of a partially used group, but
+    /// with the valid-index group accounting applied once per run instead
+    /// of once per page. A hard error (out-of-range address, worn die)
+    /// stops the sweep; pages before it have already taken effect.
+    pub fn invalidate_group(&mut self, first_flat: u64, pages: u64) -> Result<(), FlashError> {
+        let mut start = 0u64;
+        while start < pages {
+            let span = (pages - start).min(64);
+            // Which pages of this chunk the dies actually invalidated, and
+            // the block each one resolved to (so the index pass below never
+            // redoes the address arithmetic).
+            let mut ok_mask = 0u64;
+            let mut blocks = [0u64; 64];
+            let mut error = None;
+            for i in 0..span {
+                let addr = self.geometry.flat_to_addr(first_flat + start + i);
+                if !self.geometry.contains(addr) {
+                    error = Some(FlashError::OutOfRange(addr));
+                    break;
+                }
+                match self.channels[addr.channel].invalidate(addr) {
+                    Ok(()) => {
+                        ok_mask |= 1 << i;
+                        blocks[i as usize] = self.geometry.block_index(addr);
+                    }
+                    // An unwritten trailing page of a partially used group
+                    // is benign on this path.
+                    Err(FlashError::ReadUnwritten(_)) => {}
+                    Err(e) => {
+                        error = Some(e);
+                        break;
+                    }
+                }
+            }
+            self.valid_index.on_invalidate_batch(
+                (0..span)
+                    .filter(|i| ok_mask >> i & 1 == 1)
+                    .map(|i| (blocks[i as usize], first_flat + start + i)),
+            );
+            if let Some(e) = error {
+                return Err(e);
+            }
+            start += span;
+        }
+        Ok(())
+    }
+
     /// Total number of valid pages across the backbone. O(1): read from
     /// the incremental valid-page index.
     pub fn total_valid_pages(&self) -> usize {
@@ -399,9 +568,16 @@ impl FlashBackbone {
     /// owners reproduces [`FlashBackbone::stats`] exactly (the oracle
     /// property).
     pub fn owner_stats(&self) -> BTreeMap<OwnerId, OwnerStats> {
-        let mut merged = self.owner_stats.clone();
+        let mut merged: BTreeMap<OwnerId, OwnerStats> = self
+            .owner_stats
+            .iter()
+            .zip(&self.owner_touched)
+            .enumerate()
+            .filter(|&(_, (_, &touched))| touched)
+            .map(|(oi, (&stats, _))| (OwnerId::from_dense_index(oi), stats))
+            .collect();
         for channel in &self.channels {
-            for (&owner, &peak) in channel.owner_peak_tags() {
+            for (owner, peak) in channel.owner_peak_tags() {
                 let entry = merged.entry(owner).or_default();
                 entry.peak_tags = entry.peak_tags.max(peak);
             }
@@ -409,10 +585,20 @@ impl FlashBackbone {
         merged
     }
 
+    /// `owner`'s recorded read latencies, `None` when it completed no reads.
+    fn latencies_of(&self, owner: OwnerId) -> Option<&[u64]> {
+        let latencies = self.read_latencies.get(owner.dense_index())?;
+        if latencies.is_empty() {
+            None
+        } else {
+            Some(latencies)
+        }
+    }
+
     /// The `q`-quantile (0..=1) of `owner`'s end-to-end page-read
     /// latencies, or `None` when the owner completed no reads.
     pub fn read_latency_quantile(&self, owner: OwnerId, q: f64) -> Option<SimDuration> {
-        Self::quantile_of(self.read_latencies.get(&owner)?.clone(), q)
+        Self::quantile_of(self.latencies_of(owner)?.to_vec(), q)
     }
 
     /// Several quantiles of `owner`'s read latencies from a single sort —
@@ -420,10 +606,7 @@ impl FlashBackbone {
     /// plus re-sorting the distribution per quantile would triple the
     /// work.
     pub fn read_latency_quantiles(&self, owner: OwnerId, qs: &[f64]) -> Option<Vec<SimDuration>> {
-        let mut latencies = self.read_latencies.get(&owner)?.clone();
-        if latencies.is_empty() {
-            return None;
-        }
+        let mut latencies = self.latencies_of(owner)?.to_vec();
         latencies.sort_unstable();
         Some(
             qs.iter()
@@ -441,7 +624,8 @@ impl FlashBackbone {
         let merged: Vec<u64> = self
             .read_latencies
             .iter()
-            .filter(|(owner, _)| !owner.is_background())
+            .enumerate()
+            .filter(|&(oi, _)| !OwnerId::from_dense_index(oi).is_background())
             .flat_map(|(_, v)| v.iter().copied())
             .collect();
         Self::quantile_of(merged, q)

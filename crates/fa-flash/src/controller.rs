@@ -55,14 +55,21 @@ pub struct ChannelController {
     /// Per-owner outstanding-command budgets; unlimited by default, which
     /// reproduces the untagged FIFO admission exactly.
     budgets: QosBudgets,
-    /// Completion time and owner of each in-flight command in submission
-    /// order. Because the controller serializes each phase of a command on
-    /// FIFO resources, completion times are non-decreasing in submission
-    /// order, which keeps tag-queue admission O(1) amortized (the budget
-    /// check scans the queue, whose length the tag depth bounds).
-    outstanding: VecDeque<(SimTime, OwnerId)>,
-    /// Peak simultaneous tag occupancy per owner, for the QoS figures.
-    owner_peaks: BTreeMap<OwnerId, usize>,
+    /// Completion time and dense owner index (see [`OwnerId::dense_index`])
+    /// of each in-flight command in submission order. Because the
+    /// controller serializes each phase of a command on FIFO resources,
+    /// completion times are non-decreasing in submission order, so every
+    /// "commands still in flight at instant t" question is a suffix of this
+    /// queue found by binary search — admission never scans.
+    outstanding: VecDeque<(SimTime, u32)>,
+    /// Completion times of each owner's in-flight commands, indexed by
+    /// dense owner index. Each deque is a subsequence of `outstanding` and
+    /// therefore also sorted; the budget check reads the `b`-th-from-back
+    /// entry directly instead of walking the shared queue.
+    owner_outstanding: Vec<VecDeque<SimTime>>,
+    /// Peak simultaneous tag occupancy per owner (dense owner index), for
+    /// the QoS figures.
+    owner_peaks: Vec<usize>,
     /// Valid pages across the channel, maintained incrementally by
     /// [`ChannelController::execute`], [`ChannelController::invalidate`],
     /// and [`ChannelController::preload`]. Mutating a die directly through
@@ -96,7 +103,8 @@ impl ChannelController {
             inbound_tags,
             budgets: QosBudgets::unlimited(),
             outstanding: VecDeque::new(),
-            owner_peaks: BTreeMap::new(),
+            owner_outstanding: Vec::new(),
+            owner_peaks: Vec::new(),
             valid_pages: 0,
             stats: ChannelStats::default(),
         }
@@ -112,9 +120,15 @@ impl ChannelController {
         self.budgets
     }
 
-    /// Peak simultaneous tag-queue occupancy each owner reached.
-    pub fn owner_peak_tags(&self) -> &BTreeMap<OwnerId, usize> {
-        &self.owner_peaks
+    /// Peak simultaneous tag-queue occupancy each owner reached. Owners
+    /// that never submitted a command are absent (their dense slot is 0).
+    pub fn owner_peak_tags(&self) -> BTreeMap<OwnerId, usize> {
+        self.owner_peaks
+            .iter()
+            .enumerate()
+            .filter(|(_, &peak)| peak > 0)
+            .map(|(i, &peak)| (OwnerId::from_dense_index(i), peak))
+            .collect()
     }
 
     /// The channel index this controller serves.
@@ -161,9 +175,15 @@ impl ChannelController {
     /// one of *its own* commands retires — other owners are admitted past
     /// it rather than FIFO-stalling behind it.
     fn admit(&mut self, now: SimTime, owner: OwnerId) -> SimTime {
+        let oi = self.ensure_owner_slot(owner);
         // Drop commands that have already retired by the submission instant.
+        // Each retired entry pops from the shared queue and the front of its
+        // owner's deque (both hold the same clamped completion times in the
+        // same submission order).
         while matches!(self.outstanding.front(), Some((done, _)) if *done <= now) {
-            self.outstanding.pop_front();
+            let (done, o) = self.outstanding.pop_front().expect("checked front");
+            let popped = self.owner_outstanding[o as usize].pop_front();
+            debug_assert_eq!(popped, Some(done));
         }
         let occupancy = self.outstanding.len();
         let mut admitted = if occupancy < self.inbound_tags {
@@ -178,52 +198,50 @@ impl ChannelController {
         };
         // Per-owner budget: with `k` of the owner's commands still in
         // flight at the admission instant and a budget of `b`, defer until
-        // the `(k - b + 1)`-th of them retires — equivalently, the `b`-th
-        // of the owner's in-flight completions counted from the back of
-        // the (time-ordered) queue, found by one reverse scan without
-        // allocating. A zero budget is clamped to one tag — it bounds
-        // concurrency, never deadlocks the owner.
+        // the `(k - b + 1)`-th of them retires — the `b`-th-from-back entry
+        // of the owner's (sorted) completion deque, read directly once a
+        // binary search says at least `b` of them are still in flight. A
+        // zero budget is clamped to one tag — it bounds concurrency, never
+        // deadlocks the owner.
+        let owner_queue = &self.owner_outstanding[oi];
         if let Some(budget) = self.budgets.budget_for(owner) {
             let budget = budget.max(1);
-            let mut in_flight_seen = 0usize;
-            for (done, o) in self.outstanding.iter().rev() {
-                if *done <= admitted {
-                    // Times ascend toward the back; everything earlier has
-                    // retired by `admitted` too.
-                    break;
-                }
-                if *o == owner {
-                    in_flight_seen += 1;
-                    if in_flight_seen == budget {
-                        admitted = *done;
-                        break;
-                    }
-                }
+            let in_flight = owner_queue.len() - owner_queue.partition_point(|&t| t <= admitted);
+            if in_flight >= budget {
+                admitted = owner_queue[owner_queue.len() - budget];
             }
         }
-        // Occupancy the tag queue actually sees once this command is let in.
-        let in_flight_at_admit = self
-            .outstanding
-            .iter()
-            .rev()
-            .take_while(|(done, _)| *done > admitted)
-            .count();
+        // Occupancy the tag queue actually sees once this command is let
+        // in: the suffixes of commands finishing after the admission
+        // instant, found by binary search on both sorted queues.
+        let in_flight_at_admit = occupancy
+            - self
+                .outstanding
+                .partition_point(|&(done, _)| done <= admitted);
         self.stats.peak_inbound_tags = self.stats.peak_inbound_tags.max(in_flight_at_admit + 1);
-        let owner_in_flight = self
-            .outstanding
-            .iter()
-            .filter(|(done, o)| *o == owner && *done > admitted)
-            .count();
-        let peak = self.owner_peaks.entry(owner).or_insert(0);
-        *peak = (*peak).max(owner_in_flight + 1);
+        let owner_in_flight = owner_queue.len() - owner_queue.partition_point(|&t| t <= admitted);
+        self.owner_peaks[oi] = self.owner_peaks[oi].max(owner_in_flight + 1);
         admitted
+    }
+
+    /// Grows the dense per-owner structures to cover `owner`, returning its
+    /// dense index.
+    fn ensure_owner_slot(&mut self, owner: OwnerId) -> usize {
+        let oi = owner.dense_index();
+        if oi >= self.owner_outstanding.len() {
+            self.owner_outstanding.resize_with(oi + 1, VecDeque::new);
+            self.owner_peaks.resize(oi + 1, 0);
+        }
+        oi
     }
 
     fn record_completion(&mut self, done: SimTime, owner: OwnerId) {
         // Keep the queue sorted in the rare case a later submission finishes
         // slightly earlier (e.g. an erase racing a read on another die).
         let done = self.outstanding.back().map_or(done, |b| done.max(b.0));
-        self.outstanding.push_back((done, owner));
+        let oi = self.ensure_owner_slot(owner);
+        self.outstanding.push_back((done, oi as u32));
+        self.owner_outstanding[oi].push_back(done);
     }
 
     /// Executes one operation against `addr` on behalf of `owner`,

@@ -48,6 +48,35 @@ pub enum OwnerId {
 }
 
 impl OwnerId {
+    /// Dense slots occupied by the non-kernel owners (see
+    /// [`OwnerId::dense_index`]).
+    pub const DENSE_FIXED: usize = 3;
+
+    /// Maps the owner onto a small dense index — the hot-path structures
+    /// (tag-queue peaks, per-owner stats, latency distributions) are plain
+    /// arrays indexed by this instead of `BTreeMap<OwnerId, _>` lookups.
+    /// The two background streams and the unattributed stream take the
+    /// first three slots; kernel `k` (the range-lock application id, a
+    /// small sequential counter) takes slot `3 + k`.
+    pub fn dense_index(self) -> usize {
+        match self {
+            OwnerId::Gc => 0,
+            OwnerId::Journal => 1,
+            OwnerId::Unattributed => 2,
+            OwnerId::Kernel(id) => Self::DENSE_FIXED + id as usize,
+        }
+    }
+
+    /// Inverse of [`OwnerId::dense_index`].
+    pub fn from_dense_index(index: usize) -> OwnerId {
+        match index {
+            0 => OwnerId::Gc,
+            1 => OwnerId::Journal,
+            2 => OwnerId::Unattributed,
+            k => OwnerId::Kernel((k - Self::DENSE_FIXED) as u32),
+        }
+    }
+
     /// Label used in reports and perf records.
     pub fn label(self) -> String {
         match self {
@@ -163,6 +192,26 @@ mod tests {
         assert_eq!(q.budget_for(OwnerId::Gc), Some(2));
         assert_eq!(q.budget_for(OwnerId::Journal), Some(2));
         assert_eq!(QosBudgets::unlimited().budget_for(OwnerId::Gc), None);
+    }
+
+    #[test]
+    fn dense_index_round_trips() {
+        let owners = [
+            OwnerId::Gc,
+            OwnerId::Journal,
+            OwnerId::Unattributed,
+            OwnerId::Kernel(0),
+            OwnerId::Kernel(7),
+        ];
+        for owner in owners {
+            assert_eq!(OwnerId::from_dense_index(owner.dense_index()), owner);
+        }
+        // The fixed slots and the kernel slots never collide.
+        assert_eq!(OwnerId::Kernel(0).dense_index(), OwnerId::DENSE_FIXED);
+        let mut seen: Vec<usize> = owners.iter().map(|o| o.dense_index()).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), owners.len());
     }
 
     #[test]

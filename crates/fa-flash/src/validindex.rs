@@ -53,8 +53,6 @@
 //! assert_eq!(idx.take_erased_blocks(), vec![0]);
 //! ```
 
-use std::collections::{BTreeMap, BTreeSet};
-
 /// Optional page-group accounting layered over the per-block counters.
 ///
 /// A *page group* is `pages_per_group` consecutive flat pages — the
@@ -74,12 +72,40 @@ struct GroupTracker {
     programmed: Vec<u32>,
     /// Valid pages per group.
     valid: Vec<u32>,
-    /// Per block: group → (programmed, valid) pages of that group residing
-    /// in this block.
-    by_block: Vec<BTreeMap<u32, (u32, u32)>>,
+    /// Per block: the groups holding programmed pages in this block, as a
+    /// sorted dense run of `(group, programmed, valid)`. NAND programs land
+    /// on ascending pages within a block, and ascending pages map to
+    /// non-decreasing flat indices (hence non-decreasing groups), so the
+    /// hot-path maintenance is "increment the last entry or append" —
+    /// contiguous memory, no tree nodes, no per-command allocation beyond
+    /// amortized `Vec` growth. Out-of-order landings (preloads) fall back
+    /// to a binary-search insert.
+    by_block: Vec<Vec<(u32, u32, u32)>>,
     /// Groups whose last programmed page an erase just cleared, pending a
     /// drain by the reclaim path.
     fully_erased: Vec<u64>,
+}
+
+impl GroupTracker {
+    /// Records one programmed page of group `g` residing in block `b`.
+    fn note_program(&mut self, b: usize, g: u32) {
+        let list = &mut self.by_block[b];
+        match list.last_mut() {
+            Some(entry) if entry.0 == g => {
+                entry.1 += 1;
+                entry.2 += 1;
+            }
+            Some(entry) if entry.0 < g => list.push((g, 1, 1)),
+            None => list.push((g, 1, 1)),
+            _ => match list.binary_search_by_key(&g, |entry| entry.0) {
+                Ok(i) => {
+                    list[i].1 += 1;
+                    list[i].2 += 1;
+                }
+                Err(i) => list.insert(i, (g, 1, 1)),
+            },
+        }
+    }
 }
 
 /// Backbone-wide incremental valid-page accounting.
@@ -90,11 +116,18 @@ pub struct ValidPageIndex {
     valid: Vec<u32>,
     /// Programmed pages (valid or superseded) per block.
     programmed: Vec<u32>,
-    /// `buckets[v]` holds the blocks with `v` valid pages *and* at least
-    /// one invalid page (i.e. something to reclaim).
-    buckets: Vec<BTreeSet<u32>>,
-    /// Valid counts whose bucket is non-empty, for O(log n) minimum lookup.
-    occupied: BTreeSet<u32>,
+    /// Bucket `v` holds the blocks with `v` valid pages *and* at least one
+    /// invalid page (i.e. something to reclaim). Stored as one block-index
+    /// bitmap per valid level, flattened (`level × words_per_level` words):
+    /// the per-command membership flips are single bit operations, and the
+    /// per-GC-pass minimum lookups scan words in ascending order, which
+    /// preserves the deterministic smallest-block-wins tie-break.
+    buckets: Vec<u64>,
+    words_per_level: usize,
+    /// Blocks per bucket, so emptiness is known without scanning.
+    level_counts: Vec<u32>,
+    /// Bitmap over valid levels whose bucket is non-empty.
+    occupied: Vec<u64>,
     total_valid: u64,
     /// Erase cycles per block, maintained on every [`ValidPageIndex::on_erase`].
     erase_counts: Vec<u64>,
@@ -113,12 +146,16 @@ impl ValidPageIndex {
     /// Creates an all-erased index for `total_blocks` blocks of
     /// `pages_per_block` pages each.
     pub fn new(total_blocks: usize, pages_per_block: usize) -> Self {
+        let levels = pages_per_block + 1;
+        let words_per_level = total_blocks.div_ceil(64);
         ValidPageIndex {
             pages_per_block: pages_per_block as u32,
             valid: vec![0; total_blocks],
             programmed: vec![0; total_blocks],
-            buckets: vec![BTreeSet::new(); pages_per_block + 1],
-            occupied: BTreeSet::new(),
+            buckets: vec![0; levels * words_per_level],
+            words_per_level,
+            level_counts: vec![0; levels],
+            occupied: vec![0; levels.div_ceil(64)],
             total_valid: 0,
             erase_counts: vec![0; total_blocks],
             erase_events: Vec::new(),
@@ -136,7 +173,7 @@ impl ValidPageIndex {
             pages_per_group: pages_per_group.max(1),
             programmed: vec![0; total_groups as usize],
             valid: vec![0; total_groups as usize],
-            by_block: vec![BTreeMap::new(); self.valid.len()],
+            by_block: vec![Vec::new(); self.valid.len()],
             fully_erased: Vec::new(),
         });
     }
@@ -151,17 +188,38 @@ impl ValidPageIndex {
     }
 
     fn bucket_remove(&mut self, level: u32, block: u32) {
-        let bucket = &mut self.buckets[level as usize];
-        bucket.remove(&block);
-        if bucket.is_empty() {
-            self.occupied.remove(&level);
+        let l = level as usize;
+        let word = &mut self.buckets[l * self.words_per_level + (block as usize >> 6)];
+        let bit = 1u64 << (block & 63);
+        if *word & bit != 0 {
+            *word &= !bit;
+            self.level_counts[l] -= 1;
+            if self.level_counts[l] == 0 {
+                self.occupied[l >> 6] &= !(1u64 << (l & 63));
+            }
         }
     }
 
     fn bucket_insert(&mut self, level: u32, block: u32) {
-        if self.buckets[level as usize].insert(block) {
-            self.occupied.insert(level);
+        let l = level as usize;
+        let word = &mut self.buckets[l * self.words_per_level + (block as usize >> 6)];
+        let bit = 1u64 << (block & 63);
+        if *word & bit == 0 {
+            *word |= bit;
+            self.level_counts[l] += 1;
+            self.occupied[l >> 6] |= 1u64 << (l & 63);
         }
+    }
+
+    /// The set bit indices of `words`, ascending.
+    fn set_bits(words: &[u64]) -> impl Iterator<Item = usize> + '_ {
+        words.iter().enumerate().flat_map(|(i, &w)| {
+            std::iter::successors((w != 0).then_some(w), |w| {
+                let w = w & (w - 1);
+                (w != 0).then_some(w)
+            })
+            .map(move |w| i * 64 + w.trailing_zeros() as usize)
+        })
     }
 
     /// Records one page program (or preload) of flat page `flat` landing in
@@ -185,10 +243,55 @@ impl ValidPageIndex {
             if g < t.programmed.len() {
                 t.programmed[g] += 1;
                 t.valid[g] += 1;
-                let entry = t.by_block[b].entry(g as u32).or_insert((0, 0));
-                entry.0 += 1;
-                entry.1 += 1;
+                t.note_program(b, g as u32);
             }
+        }
+    }
+
+    /// Records a batch of page programs — the once-per-`submit_batch` entry
+    /// point. Each `(block, flat)` entry is accounted exactly as a matching
+    /// sequence of [`ValidPageIndex::on_program`] calls would, but the
+    /// device-wide group counters are coalesced per run of same-group pages
+    /// (a vectored group write is one such run striped across channels), so
+    /// the per-page work is only the per-block counter touch.
+    pub fn on_program_batch<I>(&mut self, entries: I, now_ns: u64)
+    where
+        I: IntoIterator<Item = (u64, u64)>,
+    {
+        // (group, pages) accumulated for the current same-group run.
+        let mut pending: Option<(usize, u32)> = None;
+        for (block, flat) in entries {
+            let b = block as usize;
+            let had_garbage = self.garbage(b) > 0;
+            if had_garbage {
+                self.bucket_remove(self.valid[b], block as u32);
+            }
+            self.programmed[b] += 1;
+            self.valid[b] += 1;
+            self.total_valid += 1;
+            self.last_program_ns[b] = self.last_program_ns[b].max(now_ns);
+            if had_garbage {
+                self.bucket_insert(self.valid[b], block as u32);
+            }
+            if let Some(t) = &mut self.groups {
+                let g = (flat / t.pages_per_group) as usize;
+                if g < t.programmed.len() {
+                    t.note_program(b, g as u32);
+                    pending = match pending {
+                        Some((run, pages)) if run == g => Some((run, pages + 1)),
+                        Some((run, pages)) => {
+                            t.programmed[run] += pages;
+                            t.valid[run] += pages;
+                            Some((g, 1))
+                        }
+                        None => Some((g, 1)),
+                    };
+                }
+            }
+        }
+        if let (Some(t), Some((run, pages))) = (&mut self.groups, pending) {
+            t.programmed[run] += pages;
+            t.valid[run] += pages;
         }
     }
 
@@ -205,10 +308,52 @@ impl ValidPageIndex {
             let g = (flat / t.pages_per_group) as usize;
             if g < t.valid.len() {
                 t.valid[g] -= 1;
-                if let Some(entry) = t.by_block[b].get_mut(&(g as u32)) {
-                    entry.1 -= 1;
+                let list = &mut t.by_block[b];
+                if let Ok(i) = list.binary_search_by_key(&(g as u32), |entry| entry.0) {
+                    list[i].2 -= 1;
                 }
             }
+        }
+    }
+
+    /// Records a batch of page invalidations — the vectored counterpart of
+    /// [`ValidPageIndex::on_invalidate`], with the device-wide group valid
+    /// counter coalesced per run of same-group pages (a group overwrite
+    /// invalidates one such run striped across channels).
+    pub fn on_invalidate_batch<I>(&mut self, entries: I)
+    where
+        I: IntoIterator<Item = (u64, u64)>,
+    {
+        // (group, pages) accumulated for the current same-group run.
+        let mut pending: Option<(usize, u32)> = None;
+        for (block, flat) in entries {
+            let b = block as usize;
+            if self.garbage(b) > 0 {
+                self.bucket_remove(self.valid[b], block as u32);
+            }
+            self.valid[b] -= 1;
+            self.total_valid -= 1;
+            self.bucket_insert(self.valid[b], block as u32);
+            if let Some(t) = &mut self.groups {
+                let g = (flat / t.pages_per_group) as usize;
+                if g < t.valid.len() {
+                    let list = &mut t.by_block[b];
+                    if let Ok(i) = list.binary_search_by_key(&(g as u32), |entry| entry.0) {
+                        list[i].2 -= 1;
+                    }
+                    pending = match pending {
+                        Some((run, pages)) if run == g => Some((run, pages + 1)),
+                        Some((run, pages)) => {
+                            t.valid[run] -= pages;
+                            Some((g, 1))
+                        }
+                        None => Some((g, 1)),
+                    };
+                }
+            }
+        }
+        if let (Some(t), Some((run, pages))) = (&mut self.groups, pending) {
+            t.valid[run] -= pages;
         }
     }
 
@@ -224,7 +369,11 @@ impl ValidPageIndex {
         self.erase_counts[b] += 1;
         self.erase_events.push(block);
         if let Some(t) = &mut self.groups {
-            for (g, (programmed, valid)) in std::mem::take(&mut t.by_block[b]) {
+            // Take the list out so the per-group counters can be updated
+            // while walking it; hand back the emptied allocation afterwards
+            // so a recycled block's next programs reuse the capacity.
+            let mut resident = std::mem::take(&mut t.by_block[b]);
+            for &(g, programmed, valid) in &resident {
                 let g = g as usize;
                 t.programmed[g] -= programmed;
                 t.valid[g] -= valid;
@@ -234,6 +383,8 @@ impl ValidPageIndex {
                     t.fully_erased.push(g as u64);
                 }
             }
+            resident.clear();
+            t.by_block[b] = resident;
         }
     }
 
@@ -254,9 +405,9 @@ impl ValidPageIndex {
     pub fn garbage_groups_in(&self, block: u64) -> Vec<u64> {
         match &self.groups {
             Some(t) => t.by_block[block as usize]
-                .keys()
-                .filter(|&&g| t.valid[g as usize] == 0)
-                .map(|&g| g as u64)
+                .iter()
+                .filter(|&&(g, _, _)| t.valid[g as usize] == 0)
+                .map(|&(g, _, _)| g as u64)
                 .collect(),
             None => Vec::new(),
         }
@@ -303,10 +454,11 @@ impl ValidPageIndex {
     /// migration), smallest block index on ties; `None` when no block holds
     /// garbage. O(log n).
     pub fn min_valid_garbage_block(&self) -> Option<u64> {
-        let level = *self.occupied.first()?;
-        self.buckets[level as usize]
-            .first()
-            .map(|&block| block as u64)
+        let level = Self::set_bits(&self.occupied).next()?;
+        let base = level * self.words_per_level;
+        Self::set_bits(&self.buckets[base..base + self.words_per_level])
+            .next()
+            .map(|block| block as u64)
     }
 
     /// Erase cycles recorded for `block` — the per-block wear counter the
@@ -345,8 +497,10 @@ impl ValidPageIndex {
     /// (valid-level, block-index) order).
     pub fn cost_benefit_victim(&self, now_ns: u64) -> Option<u64> {
         let mut best: Option<(u128, u128, u32)> = None;
-        for &level in &self.occupied {
-            for &block in &self.buckets[level as usize] {
+        for level in Self::set_bits(&self.occupied) {
+            let base = level * self.words_per_level;
+            for block in Self::set_bits(&self.buckets[base..base + self.words_per_level]) {
+                let block = block as u32;
                 let b = block as usize;
                 let age = now_ns.saturating_sub(self.last_program_ns[b]).max(1) as u128;
                 let numerator = age * self.garbage(b) as u128;

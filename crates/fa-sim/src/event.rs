@@ -9,29 +9,31 @@ use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-/// A single scheduled entry in the queue.
+/// A single scheduled entry in the queue: the ordering key plus the arena
+/// slot holding the event payload. Keeping the payload out of the heap
+/// means every sift moves a small fixed-size key, not the event itself.
 #[derive(Debug)]
-struct Scheduled<E> {
+struct Scheduled {
     at: SimTime,
     seq: u64,
-    event: E,
+    slot: u32,
 }
 
-impl<E> PartialEq for Scheduled<E> {
+impl PartialEq for Scheduled {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
 
-impl<E> Eq for Scheduled<E> {}
+impl Eq for Scheduled {}
 
-impl<E> PartialOrd for Scheduled<E> {
+impl PartialOrd for Scheduled {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<E> Ord for Scheduled<E> {
+impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; reverse so the earliest (time, seq) pops
         // first.
@@ -59,7 +61,13 @@ impl<E> Ord for Scheduled<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    heap: BinaryHeap<Scheduled>,
+    /// Pooled event payloads; heap entries reference slots here. Popped
+    /// slots are recycled through `free`, so a steady-state queue performs
+    /// no per-event allocation no matter how large the payload type is.
+    arena: Vec<Option<E>>,
+    /// Arena slots whose payload was taken, awaiting reuse.
+    free: Vec<u32>,
     next_seq: u64,
     pushed: u64,
     popped: u64,
@@ -82,6 +90,8 @@ impl<E> EventQueue<E> {
     pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
             heap: BinaryHeap::with_capacity(capacity),
+            arena: Vec::with_capacity(capacity),
+            free: Vec::new(),
             next_seq: 0,
             pushed: 0,
             popped: 0,
@@ -91,6 +101,8 @@ impl<E> EventQueue<E> {
     /// Reserves room for at least `additional` more pending events.
     pub fn reserve(&mut self, additional: usize) {
         self.heap.reserve(additional);
+        self.arena
+            .reserve(additional.saturating_sub(self.free.len()));
     }
 
     /// Schedules `event` for delivery at `at`.
@@ -98,7 +110,17 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.pushed += 1;
-        self.heap.push(Scheduled { at, seq, event });
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.arena[slot as usize] = Some(event);
+                slot
+            }
+            None => {
+                self.arena.push(Some(event));
+                (self.arena.len() - 1) as u32
+            }
+        };
+        self.heap.push(Scheduled { at, seq, slot });
     }
 
     /// Schedules a batch of events in one call, reserving space up front.
@@ -120,7 +142,11 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         self.heap.pop().map(|s| {
             self.popped += 1;
-            (s.at, s.event)
+            let event = self.arena[s.slot as usize]
+                .take()
+                .expect("heap entry references an occupied arena slot");
+            self.free.push(s.slot);
+            (s.at, event)
         })
     }
 
@@ -152,6 +178,8 @@ impl<E> EventQueue<E> {
     /// Drops all pending events.
     pub fn clear(&mut self) {
         self.heap.clear();
+        self.arena.clear();
+        self.free.clear();
     }
 }
 
@@ -206,6 +234,18 @@ mod tests {
         let out: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
         assert_eq!(out, vec![3, 1, 2, 4]);
         assert_eq!(q.total_pushed(), 4);
+    }
+
+    #[test]
+    fn arena_slots_recycle_after_pop() {
+        let mut q = EventQueue::new();
+        for round in 0..64u64 {
+            q.push(SimTime::from_ns(round), round);
+            assert_eq!(q.pop(), Some((SimTime::from_ns(round), round)));
+        }
+        // Steady-state churn reuses the freed slot instead of growing.
+        assert_eq!(q.arena.len(), 1);
+        assert_eq!(q.total_pushed(), 64);
     }
 
     #[test]

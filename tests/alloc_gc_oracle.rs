@@ -16,7 +16,10 @@
 //! Case count defaults to 256 and can be raised via `FA_ORACLE_CASES`
 //! (CI runs the release suite with more).
 
-use flashabacus_suite::fa_flash::{FlashGeometry, FlashTiming, PageState};
+use flashabacus_suite::fa_flash::{
+    FlashBackbone, FlashCommand, FlashGeometry, FlashTiming, OwnerId, PageState, PhysicalPageAddr,
+    QosBudgets,
+};
 use flashabacus_suite::fa_platform::mem::Scratchpad;
 use flashabacus_suite::fa_platform::PlatformSpec;
 use flashabacus_suite::fa_sim::time::{SimDuration, SimTime};
@@ -26,7 +29,7 @@ use flashabacus_suite::flashabacus::scheduler::SchedulerPolicy;
 use flashabacus_suite::flashabacus::storengine::{GcVictimPolicy, Storengine};
 use flashabacus_suite::flashabacus::Flashvisor;
 use proptest::prelude::*;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A deliberately small device (2 channels × 8 blocks × 16 pages, 2-page
 /// groups → 128 groups) so overwrites, GC, and exhaustion all happen
@@ -384,6 +387,160 @@ proptest! {
         // The walk starts on an empty device, so the early writes always
         // land: a silent all-failure walk would test nothing.
         prop_assert!(successes > 0, "no operation ever succeeded");
+    }
+
+    /// Randomized *batched* accounting: arbitrary `submit_batch` command
+    /// runs and vectored `invalidate_group` calls never desynchronize the
+    /// dense valid-page index and per-owner stats arrays from brute-force
+    /// map-based recounts the walk keeps on the side. This pins the PR6
+    /// dense/batched bookkeeping against the semantics the old per-command
+    /// map-based accounting defined.
+    #[test]
+    fn batched_accounting_always_equals_map_recounts(
+        steps in 32usize..96,
+        seed in 0u64..u64::MAX,
+    ) {
+        let geometry = FlashGeometry {
+            channels: 2,
+            packages_per_channel: 1,
+            dies_per_package: 1,
+            planes_per_die: 1,
+            blocks_per_plane: 8,
+            pages_per_block: 16,
+            page_bytes: 4096,
+        };
+        let pages_per_group = 2u64;
+        let mut bb =
+            FlashBackbone::new(geometry, FlashTiming::fast_for_tests(), 2.5e9, 16, 100_000);
+        bb.set_qos_budgets(QosBudgets { per_owner: Some(4), background: Some(2) });
+        bb.enable_group_tracking(pages_per_group);
+
+        let owners = [
+            OwnerId::Kernel(0),
+            OwnerId::Kernel(3),
+            OwnerId::Gc,
+            OwnerId::Journal,
+            OwnerId::Unattributed,
+        ];
+        let total_blocks = geometry.total_blocks();
+        let total_groups = geometry.total_pages() / pages_per_group;
+        let pages_per_block = geometry.pages_per_block as u64;
+        let page_bytes = geometry.page_bytes as u64;
+        let addr_of = |block: u64, page: u64| {
+            let (ch, die, blk) = geometry.block_index_to_addr(block);
+            PhysicalPageAddr::new(ch, die, blk, page as usize)
+        };
+        // The map-based shadows: per-block write cursors (NAND programs
+        // ascend from the cursor, reset by erase), the set of valid flat
+        // pages, and a per-owner (reads, programs, erases, bytes) ledger.
+        let mut cursor: BTreeMap<u64, u64> = (0..total_blocks).map(|b| (b, 0)).collect();
+        let mut valid: BTreeSet<u64> = BTreeSet::new();
+        let mut ledger: BTreeMap<OwnerId, (u64, u64, u64, u64)> = BTreeMap::new();
+
+        let mut rng = seed;
+        let mut t_us = 1u64;
+        for _ in 0..steps {
+            t_us += 13;
+            let now = SimTime::from_us(t_us);
+            let owner = owners[(splitmix64(&mut rng) % owners.len() as u64) as usize];
+            match splitmix64(&mut rng) % 8 {
+                // Program a run of fresh pages in one block, batched.
+                0..=3 => {
+                    let b = splitmix64(&mut rng) % total_blocks;
+                    let at = cursor[&b];
+                    let run = (1 + splitmix64(&mut rng) % 6).min(pages_per_block - at);
+                    if run == 0 {
+                        continue;
+                    }
+                    let cmds: Vec<FlashCommand> =
+                        (at..at + run).map(|p| FlashCommand::program(addr_of(b, p))).collect();
+                    let done = bb.submit_batch(now, cmds, owner);
+                    prop_assert!(done.is_ok(), "program batch failed: {:?}", done);
+                    cursor.insert(b, at + run);
+                    for p in at..at + run {
+                        valid.insert(geometry.addr_to_flat(addr_of(b, p)));
+                    }
+                    let e = ledger.entry(owner).or_default();
+                    e.1 += run;
+                    e.3 += run * page_bytes;
+                }
+                // Read a run of currently valid pages, batched.
+                4..=5 => {
+                    if valid.is_empty() {
+                        continue;
+                    }
+                    let flats: Vec<u64> = valid.iter().copied().collect();
+                    let want = 1 + (splitmix64(&mut rng) % 8) as usize;
+                    let cmds: Vec<FlashCommand> = (0..want)
+                        .map(|_| flats[(splitmix64(&mut rng) % flats.len() as u64) as usize])
+                        .map(|flat| FlashCommand::read(geometry.flat_to_addr(flat)))
+                        .collect();
+                    let n = cmds.len() as u64;
+                    prop_assert!(bb.submit_batch(now, cmds, owner).is_ok());
+                    let e = ledger.entry(owner).or_default();
+                    e.0 += n;
+                    e.3 += n * page_bytes;
+                }
+                // Vectored group invalidation (the write path's overwrite
+                // shape); unwritten pages inside the group are benign and
+                // charge no owner.
+                6 => {
+                    let g = splitmix64(&mut rng) % total_groups;
+                    prop_assert!(bb
+                        .invalidate_group(g * pages_per_group, pages_per_group)
+                        .is_ok());
+                    for i in 0..pages_per_group {
+                        valid.remove(&(g * pages_per_group + i));
+                    }
+                }
+                // Erase one block (GC's reclaim step), batched.
+                _ => {
+                    let b = splitmix64(&mut rng) % total_blocks;
+                    let cmd = std::iter::once(FlashCommand::erase(addr_of(b, 0)));
+                    prop_assert!(bb.submit_batch(now, cmd, owner).is_ok());
+                    cursor.insert(b, 0);
+                    valid.retain(|&flat| {
+                        geometry.block_index(geometry.flat_to_addr(flat)) != b
+                    });
+                    ledger.entry(owner).or_default().2 += 1;
+                }
+            }
+
+            // Dense valid-page index vs the map recount, per block and per
+            // group, and vs the primary-state (die page state) recount.
+            for b in 0..total_blocks {
+                let expect = valid
+                    .iter()
+                    .filter(|&&f| geometry.block_index(geometry.flat_to_addr(f)) == b)
+                    .count();
+                prop_assert_eq!(bb.valid_index().valid_in(b) as usize, expect);
+            }
+            prop_assert_eq!(bb.total_valid_pages(), valid.len());
+            prop_assert_eq!(bb.recount_valid_pages(), valid.len());
+            for g in 0..total_groups {
+                let expect = (0..pages_per_group)
+                    .filter(|i| valid.contains(&(g * pages_per_group + i)))
+                    .count() as u32;
+                prop_assert_eq!(bb.valid_index().group_valid_pages(g), expect);
+            }
+            // Dense owner-stats arrays vs the map ledger, both directions:
+            // every commanded owner's counts match, and no phantom owner
+            // slot ever surfaces.
+            let stats = bb.owner_stats();
+            for (owner, s) in &stats {
+                let &(reads, programs, erases, bytes) =
+                    ledger.get(owner).unwrap_or(&(0, 0, 0, 0));
+                prop_assert_eq!(
+                    (s.reads, s.programs, s.erases, s.bytes),
+                    (reads, programs, erases, bytes)
+                );
+            }
+            for (owner, &(reads, programs, erases, bytes)) in &ledger {
+                if reads + programs + erases + bytes > 0 {
+                    prop_assert!(stats.contains_key(owner), "owner {:?} missing", owner);
+                }
+            }
+        }
     }
 }
 
