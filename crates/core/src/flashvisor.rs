@@ -12,9 +12,10 @@ use crate::config::FlashAbacusConfig;
 use crate::error::FaError;
 use crate::freespace::{FreeSpaceManager, PlacementPolicy};
 use crate::rangelock::{LockId, LockMode, RangeLockTable};
-use fa_flash::{FlashBackbone, FlashCommand, OwnerId};
+use fa_flash::{FlashBackbone, FlashOp, OwnerId};
 use fa_platform::mem::Scratchpad;
 use fa_sim::resource::FifoServer;
+use fa_sim::sharded::ShardPlan;
 use fa_sim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -103,14 +104,23 @@ impl TransferCompletion {
 pub struct Flashvisor {
     config: FlashAbacusConfig,
     backbone: FlashBackbone,
-    /// Logical page group → physical page group.
-    mapping: Vec<Option<u64>>,
+    /// How the flash channels are sharded for intra-run parallelism on the
+    /// section-read data path (`FA_SHARDS`, default 1). Results are
+    /// byte-identical for every shard count; only wall-clock time changes.
+    shard_plan: ShardPlan,
+    /// Logical page group → physical page group, sentinel-encoded:
+    /// `0` = unmapped, `pg + 1` = mapped to `pg`. The zero sentinel lets
+    /// construction take the allocator's zeroed-page path instead of
+    /// writing 8 MB of `None`s per run — untouched table tail pages are
+    /// never faulted in.
+    mapping: Vec<u64>,
     /// Physical page group → logical page group, maintained alongside
     /// `mapping` so GC can enumerate the groups of one victim block
     /// without walking the whole table. An entry may briefly go stale
     /// (a group recycled externally while still mapped); consumers filter
-    /// through `mapping` for the authoritative answer.
-    reverse: Vec<Option<u64>>,
+    /// through `mapping` for the authoritative answer. Sentinel-encoded
+    /// like `mapping`: `0` = none, `lg + 1` = logical group `lg`.
+    reverse: Vec<u64>,
     /// Incremental free-group structure and placement policy.
     freespace: FreeSpaceManager,
     /// Overwrites absorbed per *logical* group — the cross-layer metadata
@@ -167,8 +177,9 @@ impl Flashvisor {
         Flashvisor {
             config,
             backbone,
-            mapping: vec![None; total_groups as usize],
-            reverse: vec![None; total_groups as usize],
+            shard_plan: ShardPlan::from_env(),
+            mapping: vec![0; total_groups as usize],
+            reverse: vec![0; total_groups as usize],
             freespace,
             overwrite_counts: vec![0; total_groups as usize],
             hot_reserve: VecDeque::new(),
@@ -183,6 +194,18 @@ impl Flashvisor {
     /// The configuration this Flashvisor was built with.
     pub fn config(&self) -> &FlashAbacusConfig {
         &self.config
+    }
+
+    /// The shard plan driving the sharded read data path.
+    pub fn shard_plan(&self) -> ShardPlan {
+        self.shard_plan
+    }
+
+    /// Overrides the shard plan (tests and the perf harness compare shard
+    /// counts without touching the process environment). Behaviour is
+    /// invariant to this; only wall-clock time may change.
+    pub fn set_shard_plan(&mut self, plan: ShardPlan) {
+        self.shard_plan = plan;
     }
 
     /// Immutable access to the backbone (reports, GC victim inspection).
@@ -392,7 +415,7 @@ impl Flashvisor {
     fn logical_slot(&self, logical_group: u64) -> Result<Option<u64>, FaError> {
         self.mapping
             .get(logical_group as usize)
-            .copied()
+            .map(|&e| e.checked_sub(1))
             .ok_or(FaError::UnmappedAddress(
                 logical_group * self.config.page_group_bytes,
             ))
@@ -405,7 +428,6 @@ impl Flashvisor {
         if len == 0 {
             return Ok(());
         }
-        let geometry = self.config.flash_geometry;
         let pages = self.config.pages_per_group();
         let (first, last) = self.groups_covering(start, len);
         for lg in first..=last {
@@ -413,12 +435,9 @@ impl Flashvisor {
                 continue;
             }
             let pg = self.allocate_physical_group()?;
-            for i in 0..pages {
-                self.backbone
-                    .preload(geometry.flat_to_addr(pg * pages + i))?;
-            }
-            self.mapping[lg as usize] = Some(pg);
-            self.reverse[pg as usize] = Some(lg);
+            self.backbone.preload_group(pg * pages, pages)?;
+            self.mapping[lg as usize] = pg + 1;
+            self.reverse[pg as usize] = lg + 1;
         }
         Ok(())
     }
@@ -426,6 +445,18 @@ impl Flashvisor {
     /// Reads the logical byte range `[start, start+len)` of a data section
     /// into DDR3L: translation on the Flashvisor LWP followed by page reads
     /// on the backbone. Returns when the last page arrives.
+    ///
+    /// When every covered group is mapped and fully programmed — the
+    /// steady-state case, established by a pure precheck that touches no
+    /// state — the whole section is staged and issued through the
+    /// backbone's sharded channel executor in one batch: the translation
+    /// prologue is a pure Flashvisor-CPU chain (scratchpad + LWP cycles)
+    /// whose schedule never depends on flash completions, so charging it
+    /// up front and then running the flash phase is exactly the serial
+    /// interleaving, and the sharded executor itself replays all globally
+    /// serialized effects in submission order. Sections that could fault
+    /// take the original per-group serial loop, preserving mid-section
+    /// error semantics to the byte.
     pub fn read_section(
         &mut self,
         now: SimTime,
@@ -440,10 +471,48 @@ impl Flashvisor {
                 groups: 0,
             });
         }
-        let geometry = self.config.flash_geometry;
         let pages = self.config.pages_per_group();
         let owner = self.transfer_owner(start, len);
         let (first, last) = self.groups_covering(start, len);
+        // Pure resolve pass: no CPU charges, no stats — just whether the
+        // fault-free fast path applies, and the physical groups if so.
+        let mut pgs: Vec<u64> = Vec::with_capacity((last - first + 1) as usize);
+        let mut all_mapped = true;
+        for lg in first..=last {
+            match self.logical_slot(lg) {
+                Ok(Some(pg)) => pgs.push(pg),
+                _ => {
+                    all_mapped = false;
+                    break;
+                }
+            }
+        }
+        if all_mapped
+            && self
+                .backbone
+                .groups_readable(pgs.iter().map(|&pg| pg * pages), pages)
+        {
+            // Translation prologue: identical scratchpad traffic, CPU
+            // charges and counters as the serial loop below.
+            let mut cursor = now;
+            let mut staged: Vec<(SimTime, u64)> = Vec::with_capacity(pgs.len());
+            for (k, &pg) in pgs.iter().enumerate() {
+                let lg = first + k as u64;
+                scratchpad.access(cursor, lg * 4, 4);
+                cursor = self.charge_cpu(cursor, self.config.flashvisor_request_cycles);
+                self.stats.mapping_lookups += 1;
+                staged.push((cursor, pg * pages));
+            }
+            let batch = self
+                .backbone
+                .read_groups_sharded(self.shard_plan, &staged, pages, owner);
+            self.stats.group_reads += staged.len() as u64;
+            return Ok(TransferCompletion {
+                accepted: now,
+                finished: now.max(batch.finished),
+                groups: last - first + 1,
+            });
+        }
         let mut finished = now;
         let mut cursor = now;
         for lg in first..=last {
@@ -455,12 +524,11 @@ impl Flashvisor {
                 .logical_slot(lg)?
                 .ok_or(FaError::UnmappedAddress(lg * self.config.page_group_bytes))?;
             // Vectored group submission: every page command of the group
-            // goes down in one batch at the translated instant.
-            let batch = self.backbone.submit_batch(
-                cursor,
-                (0..pages).map(|i| FlashCommand::read(geometry.flat_to_addr(pg * pages + i))),
-                owner,
-            )?;
+            // goes down in one batch at the translated instant, with the
+            // flat→physical stepping done inside the backbone.
+            let batch =
+                self.backbone
+                    .submit_group(cursor, pg * pages, pages, FlashOp::ReadPage, owner)?;
             finished = finished.max(batch.finished);
             self.stats.group_reads += 1;
         }
@@ -488,7 +556,6 @@ impl Flashvisor {
                 groups: 0,
             });
         }
-        let geometry = self.config.flash_geometry;
         let pages = self.config.pages_per_group();
         let owner = self.transfer_owner(start, len);
         let (first, last) = self.groups_covering(start, len);
@@ -522,9 +589,11 @@ impl Flashvisor {
                 self.stats.cold_group_writes += 1;
                 self.allocate_physical_group()?
             };
-            let batch = match self.backbone.submit_batch(
+            let batch = match self.backbone.submit_group(
                 cursor,
-                (0..pages).map(|i| FlashCommand::program(geometry.flat_to_addr(pg * pages + i))),
+                pg * pages,
+                pages,
+                FlashOp::ProgramPage,
                 owner,
             ) {
                 Ok(batch) => batch,
@@ -541,8 +610,8 @@ impl Flashvisor {
             if let Some(old) = old {
                 self.release_unmapped_group(old);
             }
-            self.mapping[lg as usize] = Some(pg);
-            self.reverse[pg as usize] = Some(lg);
+            self.mapping[lg as usize] = pg + 1;
+            self.reverse[pg as usize] = lg + 1;
             self.dirty_mapping_entries += 1;
             self.stats.group_writes += 1;
         }
@@ -556,7 +625,9 @@ impl Flashvisor {
     /// Looks up the physical group a logical group maps to (Storengine uses
     /// this while migrating valid pages).
     pub fn physical_group_of(&self, logical_group: u64) -> Option<u64> {
-        self.mapping.get(logical_group as usize).copied().flatten()
+        self.mapping
+            .get(logical_group as usize)
+            .and_then(|&e| e.checked_sub(1))
     }
 
     /// Remaps a logical group to a new physical group (GC migration) and
@@ -564,12 +635,12 @@ impl Flashvisor {
     pub fn remap_group(&mut self, logical_group: u64, new_physical: u64) -> Option<u64> {
         let slot = self.mapping.get_mut(logical_group as usize)?;
         self.dirty_mapping_entries += 1;
-        let old = slot.replace(new_physical);
+        let old = std::mem::replace(slot, new_physical + 1).checked_sub(1);
         if let Some(old) = old {
             self.release_unmapped_group(old);
         }
         if let Some(r) = self.reverse.get_mut(new_physical as usize) {
-            *r = Some(logical_group);
+            *r = logical_group + 1;
         }
         old
     }
@@ -584,7 +655,7 @@ impl Flashvisor {
     /// so unmapping is the last chance to reclaim it.
     fn release_unmapped_group(&mut self, old: u64) {
         if let Some(r) = self.reverse.get_mut(old as usize) {
-            *r = None;
+            *r = 0;
         }
         if self.backbone.valid_index().group_programmed_pages(old) == 0 {
             self.freespace.recycle(old);
@@ -657,8 +728,8 @@ impl Flashvisor {
     /// The logical group currently mapped to physical group `pg`, filtered
     /// through the forward mapping so stale reverse entries never leak out.
     pub fn logical_group_mapped_to(&self, pg: u64) -> Option<u64> {
-        let lg = (*self.reverse.get(pg as usize)?)?;
-        (self.mapping.get(lg as usize).copied().flatten() == Some(pg)).then_some(lg)
+        let lg = self.reverse.get(pg as usize)?.checked_sub(1)?;
+        (self.physical_group_of(lg) == Some(pg)).then_some(lg)
     }
 
     /// The `(logical, physical)` pairs whose physical groups fall in
@@ -693,7 +764,7 @@ impl Flashvisor {
         self.mapping
             .iter()
             .enumerate()
-            .filter_map(|(lg, pg)| pg.map(|p| (lg as u64, p)))
+            .filter_map(|(lg, &pg)| pg.checked_sub(1).map(|p| (lg as u64, p)))
     }
 
     /// Hands a reclaimed physical group back to the allocator.

@@ -4,13 +4,16 @@
 //! ablation (foreground read p99 under concurrent GC, synchronous vs
 //! backgrounded vs budgeted) and the storage-policy ablation (placement ×
 //! GC-victim × hot/cold wear spread and migration efficiency). Written to
-//! `BENCH_PR6.json`.
+//! `BENCH_PR7.json`, together with the `shard_scaling` section: the
+//! heterogeneous campaign timed at several `FA_SHARDS` settings (intra-run
+//! channel sharding), asserted bit-identical across shard counts, plus the
+//! window-barrier cost of the sharded executor.
 //!
 //! The wall-clock sections measure the simulator, not the simulated
 //! hardware; the `qos_ablation` and `policy_ablation` sections are
 //! simulated time and exactly reproducible. Knobs: `FA_DATA_SCALE`
 //! (workload size divisor), `FA_THREADS` (parallel campaign width),
-//! `FA_BENCH_OUT` (output path, default `BENCH_PR6.json` in the
+//! `FA_BENCH_OUT` (output path, default `BENCH_PR7.json` in the
 //! working directory).
 //!
 //! Regenerate with:
@@ -22,12 +25,14 @@ use fa_bench::experiments::fig12_cdf::{gc_pressure_workload, qos_ablation_modes,
 use fa_bench::experiments::policy_ablation::{churn_grid, churn_rounds, hot_cold_on_rows};
 use fa_bench::experiments::Campaign;
 use fa_bench::perf::{
-    hot_path_backbone, hot_path_sweep, hot_path_sweep_tagged, naive_ready_first,
-    naive_victim_groups, populated_flashvisor, screen_batch, NaiveScanAllocator,
+    group_read_sweep, hot_path_backbone, hot_path_sweep, hot_path_sweep_tagged, naive_ready_first,
+    naive_victim_groups, populated_flashvisor, preloaded_hot_path_backbone, screen_batch,
+    NaiveScanAllocator,
 };
 use fa_bench::runner::{campaign_threads, run_pairs_with_threads, ExperimentScale};
 use fa_kernel::chain::ExecutionChain;
 use fa_kernel::model::Application;
+use fa_sim::sharded::ShardPlan;
 use fa_sim::time::SimTime;
 use flashabacus::freespace::{FreeSpaceManager, PlacementPolicy};
 use flashabacus::scheduler::{intra_next_ready, SchedulerPolicy};
@@ -335,6 +340,63 @@ fn main() {
     let (tagged_commands, tagged_seconds) = time_sweeps(hot_path_sweep_tagged);
     let (batched_commands, batched_seconds) = time_sweeps(hot_path_sweep);
 
+    // Intra-run channel sharding (FA_SHARDS): the heterogeneous campaign,
+    // fully serial at the campaign level, with the flash data path sharded
+    // per run. The runs are asserted bit-identical across shard counts on
+    // every perfstat invocation — sharding may change wall-clock time only.
+    let shard_workloads = Campaign::heterogeneous_workloads(scale);
+    let mut shard_scaling: Vec<(usize, f64)> = Vec::new();
+    let mut shard_signature: Option<Vec<f64>> = None;
+    for shards in [1usize, 2, 4, 8] {
+        std::env::set_var("FA_SHARDS", shards.to_string());
+        let start = Instant::now();
+        let outcomes = run_pairs_with_threads(&shard_workloads, 1);
+        let seconds = start.elapsed().as_secs_f64();
+        let sig: Vec<f64> = outcomes.iter().map(|o| o.total_seconds).collect();
+        match &shard_signature {
+            None => shard_signature = Some(sig),
+            Some(base) => {
+                assert_eq!(base.len(), sig.len());
+                for (b, s) in base.iter().zip(&sig) {
+                    assert_eq!(
+                        b.to_bits(),
+                        s.to_bits(),
+                        "FA_SHARDS={shards} diverged from the 1-shard campaign"
+                    );
+                }
+            }
+        }
+        shard_scaling.push((shards, seconds));
+    }
+    std::env::remove_var("FA_SHARDS");
+
+    // Window-barrier cost of the sharded executor, priced on the shared
+    // preloaded group-read sweep: the serial submit_group loop vs the
+    // sharded executor (one conservative window per section submission).
+    let time_read_sweep = |plan: Option<ShardPlan>| {
+        let mut backbone = preloaded_hot_path_backbone();
+        // Warm pass, then the timed ones.
+        let (_, _, mut t) = group_read_sweep(&mut backbone, plan, SimTime::ZERO);
+        let start = Instant::now();
+        let mut commands = 0u64;
+        let mut windows = 0u64;
+        for _ in 0..hot_sweeps {
+            let (c, w, next) = group_read_sweep(&mut backbone, plan, t);
+            commands += c;
+            windows += w;
+            t = next;
+        }
+        (commands, windows, start.elapsed().as_secs_f64(), t)
+    };
+    let (sweep_cmds, sweep_windows, serial_sweep_s, serial_end) = time_read_sweep(None);
+    let (s1_cmds, _, shard1_sweep_s, s1_end) = time_read_sweep(Some(ShardPlan::new(1)));
+    let (s4_cmds, _, shard4_sweep_s, s4_end) = time_read_sweep(Some(ShardPlan::new(4)));
+    // The executor's equivalence contract, enforced before recording.
+    assert_eq!(sweep_cmds, s1_cmds);
+    assert_eq!(sweep_cmds, s4_cmds);
+    assert_eq!(serial_end, s1_end, "1-shard sweep diverged from serial");
+    assert_eq!(serial_end, s4_end, "4-shard sweep diverged from serial");
+
     // The QoS ablation (simulated time, deterministic): foreground read
     // p99 under concurrent GC, synchronous vs background vs budgeted.
     let qos_apps = gc_pressure_workload();
@@ -363,7 +425,7 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"pr\": 6,");
+    let _ = writeln!(json, "  \"pr\": 7,");
     let _ = writeln!(json, "  \"data_scale\": {},", scale.data_scale);
     let _ = writeln!(json, "  \"threads\": {threads},");
     json.push_str("  \"campaigns\": [\n");
@@ -433,6 +495,63 @@ fn main() {
         batched_seconds,
         batched_seconds * 1e9 / batched_commands as f64
     );
+    json.push_str("  },\n");
+    // Intra-run channel sharding: the heterogeneous campaign per shard
+    // count (bit-identical results, wall-clock only), against the PR 6
+    // serial number recorded on this machine, plus the sharded executor's
+    // window-barrier cost on the shared preloaded read sweep.
+    const PR6_HETEROGENEOUS_SERIAL_S: f64 = 2.2790;
+    json.push_str("  \"shard_scaling\": {\n");
+    let _ = writeln!(json, "    \"campaign\": \"heterogeneous\",");
+    let _ = writeln!(
+        json,
+        "    \"pr6_serial_seconds\": {PR6_HETEROGENEOUS_SERIAL_S:.4},"
+    );
+    json.push_str("    \"runs\": [\n");
+    let shard1_seconds = shard_scaling[0].1;
+    for (i, &(shards, seconds)) in shard_scaling.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{\"shards\": {}, \"seconds\": {:.4}, \"speedup_vs_1_shard\": {:.3}, \"speedup_vs_pr6\": {:.3}}}",
+            shards,
+            seconds,
+            shard1_seconds / seconds.max(1e-9),
+            PR6_HETEROGENEOUS_SERIAL_S / seconds.max(1e-9)
+        );
+        json.push_str(if i + 1 < shard_scaling.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("    ],\n");
+    json.push_str("    \"window_sync\": {\n");
+    let _ = writeln!(json, "      \"commands\": {sweep_cmds},");
+    let _ = writeln!(json, "      \"syncs\": {sweep_windows},");
+    let _ = writeln!(
+        json,
+        "      \"serial_loop\": {{\"seconds\": {:.4}, \"ns_per_command\": {:.1}}},",
+        serial_sweep_s,
+        serial_sweep_s * 1e9 / sweep_cmds as f64
+    );
+    let _ = writeln!(
+        json,
+        "      \"sharded_1\": {{\"seconds\": {:.4}, \"ns_per_command\": {:.1}}},",
+        shard1_sweep_s,
+        shard1_sweep_s * 1e9 / sweep_cmds as f64
+    );
+    let _ = writeln!(
+        json,
+        "      \"sharded_4\": {{\"seconds\": {:.4}, \"ns_per_command\": {:.1}}},",
+        shard4_sweep_s,
+        shard4_sweep_s * 1e9 / sweep_cmds as f64
+    );
+    let _ = writeln!(
+        json,
+        "      \"barrier_overhead_ns_per_sync\": {:.1}",
+        (shard4_sweep_s - serial_sweep_s) * 1e9 / sweep_windows as f64
+    );
+    json.push_str("    }\n");
     json.push_str("  },\n");
     json.push_str("  \"frontier_vs_rescan\": [\n");
     for (i, f) in frontier.iter().enumerate() {
@@ -575,7 +694,7 @@ fn main() {
     );
     json.push_str("}\n");
 
-    let out_path = std::env::var("FA_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR6.json".to_string());
+    let out_path = std::env::var("FA_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR7.json".to_string());
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     println!("{json}");
     eprintln!("perfstat: wrote {out_path}");

@@ -13,6 +13,7 @@ use crate::owner::{OwnerId, OwnerStats, QosBudgets};
 use crate::timing::FlashTiming;
 use crate::validindex::ValidPageIndex;
 use fa_sim::resource::SerializedResource;
+use fa_sim::sharded::{Outbox, ShardPlan, ShardedEngine};
 use fa_sim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -128,6 +129,10 @@ pub struct FlashBackbone {
     /// (dense by [`OwnerId::dense_index`]), for tail-latency quantiles
     /// (p99 of one kernel under concurrent GC).
     read_latencies: Vec<Vec<u64>>,
+    /// SRIO service time for one page-sized transfer, precomputed so the
+    /// group hot loop skips the bytes-to-duration conversion per page
+    /// (identical value to what `srio.reserve` would derive).
+    srio_page_service: SimDuration,
 }
 
 impl FlashBackbone {
@@ -157,6 +162,10 @@ impl FlashBackbone {
             owner_stats: Vec::new(),
             owner_touched: Vec::new(),
             read_latencies: Vec::new(),
+            srio_page_service: SimDuration::for_transfer(
+                geometry.page_bytes as u64,
+                srio_bytes_per_sec,
+            ),
         }
     }
 
@@ -459,6 +468,341 @@ impl FlashBackbone {
         })
     }
 
+    /// Submits `pages` same-op commands covering the consecutive flat pages
+    /// `first_flat..first_flat + pages` — the page-group stripe every
+    /// Flashvisor group read/write issues. Exactly equivalent to
+    /// [`FlashBackbone::submit_batch`] over the same commands (same
+    /// per-command order against the channel controllers and the SRIO
+    /// lanes, same accounting, same first-error semantics), but the
+    /// flat→physical conversion is done once and stepped incrementally
+    /// across the channel/die stripe, the per-command op dispatch is
+    /// hoisted out of the loop, and programs derive their block index from
+    /// the stepped address instead of re-dividing. This is the data-path
+    /// hot loop: a campaign pushes tens of millions of pages through here.
+    pub fn submit_group(
+        &mut self,
+        now: SimTime,
+        first_flat: u64,
+        pages: u64,
+        op: FlashOp,
+        owner: OwnerId,
+    ) -> Result<BatchCompletion, FlashError> {
+        if pages == 0 {
+            return Ok(BatchCompletion {
+                submitted: now,
+                finished: now,
+                commands: 0,
+            });
+        }
+        if first_flat + pages > self.geometry.total_pages() {
+            // The first out-of-range page the per-command path would hit.
+            return Err(FlashError::OutOfRange(
+                self.geometry
+                    .flat_to_addr(first_flat.min(self.geometry.total_pages() - 1)),
+            ));
+        }
+        let channels = self.geometry.channels;
+        let dies = self.geometry.dies_per_channel();
+        let pages_per_block = self.geometry.pages_per_block;
+        let blocks_per_die = self.geometry.blocks_per_die() as u64;
+        let page_bytes = self.geometry.page_bytes as u64;
+        let srio_service = self.srio_page_service;
+        let now_ns = now.as_ns();
+        let mut addr = self.geometry.flat_to_addr(first_flat);
+        let oi = self.owner_slot(owner);
+        let mut finished = now;
+        let mut count = 0u64;
+        let mut acc = OwnerStats::default();
+        let mut programmed: Vec<(u64, u64)> = Vec::new();
+        if op == FlashOp::ProgramPage {
+            programmed.reserve(pages as usize);
+        }
+        let mut error: Option<FlashError> = None;
+        for i in 0..pages {
+            let channel = &mut self.channels[addr.channel];
+            match op {
+                FlashOp::ReadPage => {
+                    match channel.execute(now, ChannelOp::Read, addr, owner, None) {
+                        Ok(done) => {
+                            let res = self.srio.reserve_prepaid(done, page_bytes, srio_service);
+                            acc.reads += 1;
+                            acc.bytes += page_bytes;
+                            let latency_ns = res.end.saturating_since(now).as_ns();
+                            acc.read_latency_total_ns += latency_ns;
+                            acc.read_latency_max_ns = acc.read_latency_max_ns.max(latency_ns);
+                            self.read_latencies[oi].push(latency_ns);
+                            finished = finished.max(res.end);
+                        }
+                        Err(e) => {
+                            error = Some(e);
+                            break;
+                        }
+                    }
+                }
+                FlashOp::ProgramPage => {
+                    let res = self.srio.reserve_prepaid(now, page_bytes, srio_service);
+                    match channel.execute(res.end, ChannelOp::Program, addr, owner, None) {
+                        Ok(done) => {
+                            let block = (addr.channel as u64 * dies as u64 + addr.die as u64)
+                                * blocks_per_die
+                                + addr.block as u64;
+                            programmed.push((block, first_flat + i));
+                            acc.programs += 1;
+                            acc.bytes += page_bytes;
+                            finished = finished.max(done);
+                        }
+                        Err(e) => {
+                            error = Some(e);
+                            break;
+                        }
+                    }
+                }
+                FlashOp::EraseBlock => {
+                    match channel.execute(now, ChannelOp::Erase, addr, owner, None) {
+                        Ok(done) => {
+                            let block = (addr.channel as u64 * dies as u64 + addr.die as u64)
+                                * blocks_per_die
+                                + addr.block as u64;
+                            self.valid_index.on_erase(block);
+                            acc.erases += 1;
+                            finished = finished.max(done);
+                        }
+                        Err(e) => {
+                            error = Some(e);
+                            break;
+                        }
+                    }
+                }
+            }
+            count += 1;
+            // Step to the next flat page: channels stripe fastest, then
+            // dies, then pages within the block, then blocks.
+            addr.channel += 1;
+            if addr.channel == channels {
+                addr.channel = 0;
+                addr.die += 1;
+                if addr.die == dies {
+                    addr.die = 0;
+                    addr.page += 1;
+                    if addr.page == pages_per_block {
+                        addr.page = 0;
+                        addr.block += 1;
+                    }
+                }
+            }
+        }
+        self.valid_index
+            .on_program_batch(programmed.drain(..), now_ns);
+        self.stats.reads += acc.reads;
+        self.stats.programs += acc.programs;
+        self.stats.erases += acc.erases;
+        self.stats.srio_bytes += acc.bytes;
+        self.owner_stats[oi].absorb(&acc);
+        if let Some(e) = error {
+            return Err(e);
+        }
+        Ok(BatchCompletion {
+            submitted: now,
+            finished,
+            commands: count,
+        })
+    }
+
+    /// True when every listed group start is group-aligned, in range, and
+    /// fully programmed — the precondition under which a group read cannot
+    /// fault on any page and may therefore run on the sharded executor
+    /// (see [`FlashBackbone::read_groups_sharded`]). Requires group
+    /// tracking at exactly `pages` pages per group; pure, touches no state.
+    pub fn groups_readable(&self, firsts: impl IntoIterator<Item = u64>, pages: u64) -> bool {
+        if pages == 0 || self.valid_index.group_size() != Some(pages) {
+            return false;
+        }
+        let total = self.geometry.total_pages();
+        firsts.into_iter().all(|first| {
+            first % pages == 0
+                && first + pages <= total
+                && self.valid_index.group_programmed_pages(first / pages) == pages as u32
+        })
+    }
+
+    /// Submits every `(cursor, first_flat)` group read in one sharded
+    /// window — the channel-parallel data path.
+    ///
+    /// Exactly equivalent to calling [`FlashBackbone::submit_group`] with
+    /// [`FlashOp::ReadPage`] per group in order: reads touch only
+    /// channel-local state (die, bus, tag queue), so the per-channel
+    /// command subsequences are independent and each channel controller
+    /// can sweep its slice of every group inside one conservative window
+    /// of the [`ShardedEngine`]. The globally serialized effects — the
+    /// SRIO fan-in, the latency records, and the owner/backbone counters —
+    /// are replayed at the window barrier in global submission order
+    /// (command sequence number), which makes the outcome byte-identical
+    /// for any shard count, including 1.
+    ///
+    /// One event is scheduled per channel ("sweep your slice"); commands
+    /// are derived inside the handler by stepping the per-group base
+    /// address, so the engine never materializes per-page events and the
+    /// barrier merge handles per-channel completion lists, not pages.
+    ///
+    /// # Panics
+    ///
+    /// The caller must have established [`FlashBackbone::groups_readable`]
+    /// over the same groups; a faulting read panics. (Fallible submission
+    /// stays on the serial [`FlashBackbone::submit_group`] path, which
+    /// preserves mid-batch error semantics.)
+    pub fn read_groups_sharded(
+        &mut self,
+        plan: ShardPlan,
+        groups: &[(SimTime, u64)],
+        pages: u64,
+        owner: OwnerId,
+    ) -> BatchCompletion {
+        let submitted = groups.first().map(|&(t, _)| t).unwrap_or(SimTime::ZERO);
+        if groups.is_empty() || pages == 0 {
+            return BatchCompletion {
+                submitted,
+                finished: submitted,
+                commands: 0,
+            };
+        }
+        debug_assert!(
+            self.groups_readable(groups.iter().map(|&(_, f)| f), pages),
+            "read_groups_sharded requires groups_readable"
+        );
+        // More shards than channels would leave shards without state; the
+        // extra shards own nothing, so clamping is behaviour-neutral.
+        let shards = plan.shards().min(self.geometry.channels);
+        let plan = ShardPlan::new(shards);
+        let channels = self.geometry.channels;
+        let dies = self.geometry.dies_per_channel();
+        let pages_per_block = self.geometry.pages_per_block;
+        let page_bytes = self.geometry.page_bytes as u64;
+        let srio_service = self.srio_page_service;
+        let oi = self.owner_slot(owner);
+        let n_cmds = groups.len() as u64 * pages;
+        // Per-group base address, resolved once; channel sweeps step from
+        // it instead of re-dividing per page.
+        let bases: Vec<(SimTime, PhysicalPageAddr)> = groups
+            .iter()
+            .map(|&(cursor, first)| (cursor, self.geometry.flat_to_addr(first)))
+            .collect();
+        let mut engine: ShardedEngine<usize> =
+            ShardedEngine::with_capacity(plan, SimDuration::MAX, 1);
+        for c in 0..channels {
+            engine.schedule(c, submitted, c);
+        }
+        // Completion time of command `seq`, scattered at the barrier; the
+        // placement by sequence number (not arrival order) is what makes
+        // the replay below independent of shard/worker interleaving.
+        let mut dones: Vec<SimTime> = vec![SimTime::ZERO; n_cmds as usize];
+        let mut delivered = 0u64;
+        {
+            let mut shard_channels: Vec<Vec<&mut ChannelController>> =
+                (0..shards).map(|_| Vec::new()).collect();
+            for (c, ch) in self.channels.iter_mut().enumerate() {
+                shard_channels[c % shards].push(ch);
+            }
+            let bases = &bases[..];
+            engine.run(
+                &mut shard_channels,
+                move |_,
+                      owned: &mut Vec<&mut ChannelController>,
+                      _at,
+                      seq,
+                      &c,
+                      outbox: &mut Outbox<Vec<(u64, SimTime)>>| {
+                    let ch = &mut *owned[c / shards];
+                    let mut sweep: Vec<(u64, SimTime)> =
+                        Vec::with_capacity(bases.len() * (pages as usize / channels + 1));
+                    for (g, &(cursor, base)) in bases.iter().enumerate() {
+                        // Index within the group of this channel's first
+                        // page: consecutive flats stripe channels fastest.
+                        let i0 = (c + channels - base.channel) % channels;
+                        if i0 as u64 >= pages {
+                            continue;
+                        }
+                        let mut addr = base;
+                        addr.channel = c;
+                        if c < base.channel {
+                            // The stripe wrapped past the last channel on
+                            // its way to us: one die step carries over.
+                            addr.die += 1;
+                            if addr.die == dies {
+                                addr.die = 0;
+                                addr.page += 1;
+                                if addr.page == pages_per_block {
+                                    addr.page = 0;
+                                    addr.block += 1;
+                                }
+                            }
+                        }
+                        let mut i = i0 as u64;
+                        loop {
+                            let done = ch
+                                .execute(cursor, ChannelOp::Read, addr, owner, None)
+                                .expect("prechecked group read cannot fault");
+                            sweep.push((g as u64 * pages + i, done));
+                            i += channels as u64;
+                            if i >= pages {
+                                break;
+                            }
+                            // The next command of ours is `channels` flats
+                            // later: exactly one die step.
+                            addr.die += 1;
+                            if addr.die == dies {
+                                addr.die = 0;
+                                addr.page += 1;
+                                if addr.page == pages_per_block {
+                                    addr.page = 0;
+                                    addr.block += 1;
+                                }
+                            }
+                        }
+                    }
+                    outbox.send(seq, SimTime::ZERO, sweep);
+                },
+                |m| {
+                    for (seq, done) in m.msg {
+                        dones[seq as usize] = done;
+                        delivered += 1;
+                    }
+                    None
+                },
+            );
+        }
+        debug_assert_eq!(delivered, n_cmds, "every command completes exactly once");
+        // Barrier replay of the globally serialized effects, in submission
+        // order: the SRIO fan-in chain, the per-owner latency records, and
+        // the aggregate counters — byte-for-byte what the serial path does.
+        let mut acc = OwnerStats::default();
+        let mut finished = submitted;
+        let srio = &mut self.srio;
+        let latencies = &mut self.read_latencies[oi];
+        latencies.reserve(n_cmds as usize);
+        let mut k = 0usize;
+        for &(cursor, _) in groups {
+            for _ in 0..pages {
+                let res = srio.reserve_prepaid(dones[k], page_bytes, srio_service);
+                k += 1;
+                let latency_ns = res.end.saturating_since(cursor).as_ns();
+                acc.read_latency_total_ns += latency_ns;
+                acc.read_latency_max_ns = acc.read_latency_max_ns.max(latency_ns);
+                latencies.push(latency_ns);
+                finished = finished.max(res.end);
+            }
+        }
+        acc.reads = n_cmds;
+        acc.bytes = n_cmds * page_bytes;
+        self.stats.reads += acc.reads;
+        self.stats.srio_bytes += acc.bytes;
+        self.owner_stats[oi].absorb(&acc);
+        BatchCompletion {
+            submitted,
+            finished,
+            commands: n_cmds,
+        }
+    }
+
     /// Marks a page valid without consuming device time (pre-experiment data
     /// placement; see [`crate::die::FlashDie::preload_page`]).
     pub fn preload(&mut self, addr: PhysicalPageAddr) -> Result<(), FlashError> {
@@ -471,6 +815,74 @@ impl FlashBackbone {
             self.geometry.addr_to_flat(addr),
             0,
         );
+        Ok(())
+    }
+
+    /// Preloads `pages` consecutive flat pages starting at `first_flat` in
+    /// one vectored call — exactly equivalent to calling
+    /// [`FlashBackbone::preload`] on each page in ascending order (an error
+    /// leaves every earlier page preloaded and indexed, like the per-page
+    /// loop would), but the flat→physical conversion is done once and then
+    /// stepped incrementally (consecutive flats stripe channels first, dies
+    /// second), and the valid-index accounting lands through the batched
+    /// entry point. This is the pre-experiment data-placement fast path:
+    /// the campaign preloads hundreds of thousands of pages before any
+    /// event runs, and three div/mod chains per page dominated that phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range reaches outside the backbone, exactly where the
+    /// per-page `flat_to_addr` would.
+    pub fn preload_group(&mut self, first_flat: u64, pages: u64) -> Result<(), FlashError> {
+        if pages == 0 {
+            return Ok(());
+        }
+        assert!(
+            first_flat + pages <= self.geometry.total_pages(),
+            "page index out of range"
+        );
+        let channels = self.geometry.channels;
+        let dies = self.geometry.dies_per_channel();
+        let pages_per_block = self.geometry.pages_per_block;
+        let blocks_per_die = self.geometry.blocks_per_die() as u64;
+        let mut addr = self.geometry.flat_to_addr(first_flat);
+        // (block index, flat page) of every page preloaded so far, flushed
+        // to the valid index in 64-page chunks (the invalidate_group shape).
+        let mut entries = [(0u64, 0u64); 64];
+        let mut filled = 0usize;
+        for i in 0..pages {
+            if let Err(e) = self.channels[addr.channel].preload(addr) {
+                self.valid_index
+                    .on_program_batch(entries[..filled].iter().copied(), 0);
+                return Err(e);
+            }
+            let block = (addr.channel as u64 * dies as u64 + addr.die as u64) * blocks_per_die
+                + addr.block as u64;
+            entries[filled] = (block, first_flat + i);
+            filled += 1;
+            if filled == entries.len() {
+                self.valid_index
+                    .on_program_batch(entries.iter().copied(), 0);
+                filled = 0;
+            }
+            // Step to the next flat page: channels stripe fastest, then
+            // dies, then pages within the block, then blocks.
+            addr.channel += 1;
+            if addr.channel == channels {
+                addr.channel = 0;
+                addr.die += 1;
+                if addr.die == dies {
+                    addr.die = 0;
+                    addr.page += 1;
+                    if addr.page == pages_per_block {
+                        addr.page = 0;
+                        addr.block += 1;
+                    }
+                }
+            }
+        }
+        self.valid_index
+            .on_program_batch(entries[..filled].iter().copied(), 0);
         Ok(())
     }
 
@@ -601,18 +1013,21 @@ impl FlashBackbone {
         Self::quantile_of(self.latencies_of(owner)?.to_vec(), q)
     }
 
-    /// Several quantiles of `owner`'s read latencies from a single sort —
-    /// the run-outcome builder asks for p50/p99/max per owner, and cloning
-    /// plus re-sorting the distribution per quantile would triple the
-    /// work.
+    /// Several quantiles of `owner`'s read latencies from one cloned
+    /// scratch buffer — the run-outcome builder asks for p50/p99/max per
+    /// owner. Each rank is found by selection (`select_nth_unstable`)
+    /// rather than a full sort: the k-th order statistic of a totally
+    /// ordered slice is the same element `sorted[k]` would hold, so the
+    /// reported values are bit-identical while the cost drops from
+    /// O(n log n) to O(n) per quantile.
     pub fn read_latency_quantiles(&self, owner: OwnerId, qs: &[f64]) -> Option<Vec<SimDuration>> {
         let mut latencies = self.latencies_of(owner)?.to_vec();
-        latencies.sort_unstable();
         Some(
             qs.iter()
                 .map(|q| {
                     let rank = ((latencies.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
-                    SimDuration::from_ns(latencies[rank])
+                    let (_, nth, _) = latencies.select_nth_unstable(rank);
+                    SimDuration::from_ns(*nth)
                 })
                 .collect(),
         )
@@ -635,9 +1050,10 @@ impl FlashBackbone {
         if latencies.is_empty() {
             return None;
         }
-        latencies.sort_unstable();
+        // Selection, not a sort: identical value to `sorted[rank]` at O(n).
         let rank = ((latencies.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
-        Some(SimDuration::from_ns(latencies[rank]))
+        let (_, nth, _) = latencies.select_nth_unstable(rank);
+        Some(SimDuration::from_ns(*nth))
     }
 
     /// The reclaimable block (≥1 invalid page) with the fewest valid pages,

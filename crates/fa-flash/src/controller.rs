@@ -51,6 +51,10 @@ pub struct ChannelController {
     bus: SerializedResource,
     timing: FlashTiming,
     page_bytes: usize,
+    /// Bus time for one page-sized transfer under the default timing,
+    /// precomputed so the per-command path skips the bytes-to-duration
+    /// conversion (identical to `timing.page_transfer(page_bytes)`).
+    page_xfer: SimDuration,
     inbound_tags: usize,
     /// Per-owner outstanding-command budgets; unlimited by default, which
     /// reproduces the untagged FIFO admission exactly.
@@ -100,6 +104,7 @@ impl ChannelController {
             bus: SerializedResource::new(format!("nvddr2-ch{index}"), timing.channel_bytes_per_sec),
             timing,
             page_bytes: geometry.page_bytes,
+            page_xfer: timing.page_transfer(geometry.page_bytes),
             inbound_tags,
             budgets: QosBudgets::unlimited(),
             outstanding: VecDeque::new(),
@@ -199,27 +204,53 @@ impl ChannelController {
         // Per-owner budget: with `k` of the owner's commands still in
         // flight at the admission instant and a budget of `b`, defer until
         // the `(k - b + 1)`-th of them retires — the `b`-th-from-back entry
-        // of the owner's (sorted) completion deque, read directly once a
-        // binary search says at least `b` of them are still in flight. A
-        // zero budget is clamped to one tag — it bounds concurrency, never
-        // deadlocks the owner.
+        // of the owner's (sorted) completion deque. A zero budget is
+        // clamped to one tag — it bounds concurrency, never deadlocks the
+        // owner.
+        //
+        // The in-flight counts below are short backward scans, not binary
+        // searches: the retire loop above drops everything `<= now`, and
+        // the tag-slot rule puts `admitted` at the `inbound_tags`-th entry
+        // from the back (or later), so the `> admitted` suffix of either
+        // sorted deque is at most `inbound_tags` entries long regardless
+        // of queue depth. Scanning it beats an O(log n) bisect over a
+        // deque thousands of entries deep, and counts the exact same
+        // suffix.
         let owner_queue = &self.owner_outstanding[oi];
         if let Some(budget) = self.budgets.budget_for(owner) {
             let budget = budget.max(1);
-            let in_flight = owner_queue.len() - owner_queue.partition_point(|&t| t <= admitted);
+            let mut in_flight = 0usize;
+            for &t in owner_queue.iter().rev() {
+                if t <= admitted {
+                    break;
+                }
+                in_flight += 1;
+                if in_flight >= budget {
+                    break;
+                }
+            }
             if in_flight >= budget {
                 admitted = owner_queue[owner_queue.len() - budget];
             }
         }
         // Occupancy the tag queue actually sees once this command is let
         // in: the suffixes of commands finishing after the admission
-        // instant, found by binary search on both sorted queues.
-        let in_flight_at_admit = occupancy
-            - self
-                .outstanding
-                .partition_point(|&(done, _)| done <= admitted);
+        // instant on both sorted queues.
+        let mut in_flight_at_admit = 0usize;
+        for &(done, _) in self.outstanding.iter().rev() {
+            if done <= admitted {
+                break;
+            }
+            in_flight_at_admit += 1;
+        }
         self.stats.peak_inbound_tags = self.stats.peak_inbound_tags.max(in_flight_at_admit + 1);
-        let owner_in_flight = owner_queue.len() - owner_queue.partition_point(|&t| t <= admitted);
+        let mut owner_in_flight = 0usize;
+        for &t in owner_queue.iter().rev() {
+            if t <= admitted {
+                break;
+            }
+            owner_in_flight += 1;
+        }
         self.owner_peaks[oi] = self.owner_peaks[oi].max(owner_in_flight + 1);
         admitted
     }
@@ -262,6 +293,13 @@ impl ChannelController {
             return Err(FlashError::OutOfRange(addr));
         }
         let timing = *timing_override.unwrap_or(&self.timing);
+        // The page transfer is a pure function of the timing model and the
+        // page size; reuse the constructor-computed value on the default
+        // timing (the data-path case) instead of re-deriving it per command.
+        let page_xfer = match timing_override {
+            Some(t) => t.page_transfer(self.page_bytes),
+            None => self.page_xfer,
+        };
         let admitted = self.admit(now, owner) + timing.controller_overhead;
         let page_bytes = self.page_bytes;
         let die = &mut self.dies[addr.die];
@@ -269,18 +307,14 @@ impl ChannelController {
             ChannelOp::Read => {
                 let sense = die.read_page(admitted, addr.block, addr.page, &timing)?;
                 // Data comes off the array, then crosses the channel bus.
-                let xfer = self
-                    .bus
-                    .reserve_duration(sense.end, timing.page_transfer(page_bytes));
+                let xfer = self.bus.reserve_duration(sense.end, page_xfer);
                 self.stats.reads += 1;
                 self.stats.bytes_transferred += page_bytes as u64;
                 xfer.end
             }
             ChannelOp::Program => {
                 // Data crosses the bus into the die's page register first.
-                let xfer = self
-                    .bus
-                    .reserve_duration(admitted, timing.page_transfer(page_bytes));
+                let xfer = self.bus.reserve_duration(admitted, page_xfer);
                 let prog = die.program_page(xfer.end, addr.block, addr.page, &timing)?;
                 self.valid_pages += 1;
                 self.stats.programs += 1;

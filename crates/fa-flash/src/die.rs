@@ -24,10 +24,13 @@ pub enum PageState {
     Invalid,
 }
 
-/// Per-block bookkeeping inside a die.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// Per-block bookkeeping inside a die. The page states themselves live in
+/// the die's single flat `pages` array (one allocation per die, not one
+/// per block — a paper-prototype backbone holds 16 K blocks, and per-block
+/// vectors made die construction malloc-bound and page-state access
+/// pointer-chasing).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 struct BlockState {
-    pages: Vec<PageState>,
     /// Next page index that may legally be programmed (NAND requires
     /// in-order programming within a block).
     write_cursor: usize,
@@ -39,30 +42,8 @@ struct BlockState {
 }
 
 impl BlockState {
-    fn new(pages_per_block: usize) -> Self {
-        BlockState {
-            pages: vec![PageState::Free; pages_per_block],
-            write_cursor: 0,
-            erase_count: 0,
-            valid: 0,
-        }
-    }
-
     fn valid_pages(&self) -> usize {
         self.valid as usize
-    }
-
-    /// Brute-force recount of the valid pages, bypassing the incremental
-    /// counter. Kept as the oracle the property tests compare against.
-    fn recount_valid_pages(&self) -> usize {
-        self.pages
-            .iter()
-            .filter(|p| **p == PageState::Valid)
-            .count()
-    }
-
-    fn free_pages(&self) -> usize {
-        self.pages.len() - self.write_cursor
     }
 }
 
@@ -81,6 +62,8 @@ pub struct DieStats {
 #[derive(Debug, Clone)]
 pub struct FlashDie {
     blocks: Vec<BlockState>,
+    /// Page states for every block, flat: `block * pages_per_block + page`.
+    pages: Vec<PageState>,
     pages_per_block: usize,
     endurance_limit: u64,
     server: FifoServer,
@@ -95,9 +78,8 @@ impl FlashDie {
     /// few thousand cycles.
     pub fn new(geometry: &FlashGeometry, endurance_limit: u64, name: impl Into<String>) -> Self {
         FlashDie {
-            blocks: (0..geometry.blocks_per_die())
-                .map(|_| BlockState::new(geometry.pages_per_block))
-                .collect(),
+            blocks: vec![BlockState::default(); geometry.blocks_per_die()],
+            pages: vec![PageState::Free; geometry.blocks_per_die() * geometry.pages_per_block],
             pages_per_block: geometry.pages_per_block,
             endurance_limit,
             server: FifoServer::new(name),
@@ -117,10 +99,10 @@ impl FlashDie {
 
     /// Returns the state of a page.
     pub fn page_state(&self, block: usize, page: usize) -> Option<PageState> {
-        self.blocks
-            .get(block)
-            .and_then(|b| b.pages.get(page))
-            .copied()
+        if block >= self.blocks.len() || page >= self.pages_per_block {
+            return None;
+        }
+        self.pages.get(block * self.pages_per_block + page).copied()
     }
 
     /// Number of valid pages in `block`. O(1): the count is maintained
@@ -136,10 +118,13 @@ impl FlashDie {
     /// states themselves. This is the property-test oracle for the
     /// incremental count behind [`FlashDie::valid_pages_in`].
     pub fn recount_valid_pages_in(&self, block: usize) -> usize {
-        self.blocks
-            .get(block)
-            .map(BlockState::recount_valid_pages)
-            .unwrap_or(0)
+        if block >= self.blocks.len() {
+            return 0;
+        }
+        self.pages[block * self.pages_per_block..(block + 1) * self.pages_per_block]
+            .iter()
+            .filter(|p| **p == PageState::Valid)
+            .count()
     }
 
     /// Number of programmed pages in `block` (valid or superseded).
@@ -151,7 +136,7 @@ impl FlashDie {
     pub fn free_pages_in(&self, block: usize) -> usize {
         self.blocks
             .get(block)
-            .map(BlockState::free_pages)
+            .map(|b| self.pages_per_block - b.write_cursor)
             .unwrap_or(0)
     }
 
@@ -194,7 +179,7 @@ impl FlashDie {
         timing: &FlashTiming,
     ) -> Result<Reservation, FlashError> {
         self.check_block(block, page)?;
-        let state = self.blocks[block].pages[page];
+        let state = self.pages[block * self.pages_per_block + page];
         if state == PageState::Free {
             return Err(FlashError::ReadUnwritten(
                 crate::geometry::PhysicalPageAddr::new(0, 0, block, page),
@@ -215,6 +200,7 @@ impl FlashDie {
     ) -> Result<Reservation, FlashError> {
         self.check_block(block, page)?;
         let addr = crate::geometry::PhysicalPageAddr::new(0, 0, block, page);
+        let slot = block * self.pages_per_block + page;
         let blk = &mut self.blocks[block];
         if blk.erase_count >= self.endurance_limit {
             return Err(FlashError::WornOut {
@@ -222,7 +208,7 @@ impl FlashDie {
                 erase_cycles: blk.erase_count,
             });
         }
-        match blk.pages[page] {
+        match self.pages[slot] {
             PageState::Free => {}
             _ => return Err(FlashError::ProgramWithoutErase(addr)),
         }
@@ -232,7 +218,7 @@ impl FlashDie {
                 expected_page: blk.write_cursor,
             });
         }
-        blk.pages[page] = PageState::Valid;
+        self.pages[slot] = PageState::Valid;
         blk.write_cursor += 1;
         blk.valid += 1;
         let res = self.server.serve(now, timing.program_page);
@@ -250,8 +236,9 @@ impl FlashDie {
     pub fn preload_page(&mut self, block: usize, page: usize) -> Result<(), FlashError> {
         self.check_block(block, page)?;
         let addr = crate::geometry::PhysicalPageAddr::new(0, 0, block, page);
+        let slot = block * self.pages_per_block + page;
         let blk = &mut self.blocks[block];
-        match blk.pages[page] {
+        match self.pages[slot] {
             PageState::Free => {}
             _ => return Err(FlashError::ProgramWithoutErase(addr)),
         }
@@ -261,7 +248,7 @@ impl FlashDie {
                 expected_page: blk.write_cursor,
             });
         }
-        blk.pages[page] = PageState::Valid;
+        self.pages[slot] = PageState::Valid;
         blk.write_cursor += 1;
         blk.valid += 1;
         Ok(())
@@ -271,14 +258,14 @@ impl FlashDie {
     /// invalidation is a mapping-table act performed by Flashvisor).
     pub fn invalidate_page(&mut self, block: usize, page: usize) -> Result<(), FlashError> {
         self.check_block(block, page)?;
-        let blk = &mut self.blocks[block];
-        if blk.pages[page] != PageState::Valid {
+        let slot = block * self.pages_per_block + page;
+        if self.pages[slot] != PageState::Valid {
             return Err(FlashError::ReadUnwritten(
                 crate::geometry::PhysicalPageAddr::new(0, 0, block, page),
             ));
         }
-        blk.pages[page] = PageState::Invalid;
-        blk.valid -= 1;
+        self.pages[slot] = PageState::Invalid;
+        self.blocks[block].valid -= 1;
         Ok(())
     }
 
@@ -298,9 +285,8 @@ impl FlashDie {
                 erase_cycles: blk.erase_count,
             });
         }
-        for p in blk.pages.iter_mut() {
-            *p = PageState::Free;
-        }
+        self.pages[block * self.pages_per_block..(block + 1) * self.pages_per_block]
+            .fill(PageState::Free);
         blk.write_cursor = 0;
         blk.valid = 0;
         let res = self.server.serve(now, timing.erase_block);

@@ -97,6 +97,31 @@ impl SerializedResource {
         Reservation { start, end }
     }
 
+    /// Reserves the resource for a `bytes`-sized transfer whose service
+    /// time the caller has already computed (and typically cached) via
+    /// [`SimDuration::for_transfer`]. Identical accounting to
+    /// [`SerializedResource::reserve`]; hot loops that move fixed-size
+    /// payloads use this to hoist the bytes-to-duration conversion out of
+    /// the per-transfer path.
+    pub fn reserve_prepaid(
+        &mut self,
+        now: SimTime,
+        bytes: u64,
+        service: SimDuration,
+    ) -> Reservation {
+        debug_assert_eq!(
+            service,
+            SimDuration::for_transfer(bytes, self.bytes_per_sec)
+        );
+        let start = now.max(self.next_free);
+        let end = start + service;
+        self.next_free = end;
+        self.busy.add_busy(service);
+        self.bytes_moved += bytes;
+        self.transfers += 1;
+        Reservation { start, end }
+    }
+
     /// Reserves the resource for an explicit service duration (used when a
     /// transfer cost is dominated by protocol overhead rather than payload).
     pub fn reserve_duration(&mut self, now: SimTime, service: SimDuration) -> Reservation {

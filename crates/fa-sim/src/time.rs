@@ -81,6 +81,11 @@ impl SimDuration {
     /// A zero-length duration.
     pub const ZERO: SimDuration = SimDuration(0);
 
+    /// The longest representable duration. Additions saturate, so this
+    /// acts as an "unbounded" sentinel (e.g. an infinite lookahead for the
+    /// sharded engine).
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
     /// Creates a duration of `ns` nanoseconds.
     pub const fn from_ns(ns: u64) -> Self {
         SimDuration(ns)

@@ -1,0 +1,90 @@
+//! Shard-count invariance guard for the channel-sharded engine.
+//!
+//! The sharded read executor (`FlashBackbone::read_groups_sharded`) fans a
+//! section read across per-channel event lanes and merges the effects back
+//! at a window barrier in global submission order. That merge is designed to
+//! be a *placement* merge — every cross-shard message lands at a dense,
+//! precomputed sequence slot — so the simulated physics must be exactly the
+//! serial loop's, for every shard count, including shard counts that do not
+//! divide the channel count.
+//!
+//! This test pins that property end to end: the same small campaign as
+//! `results_golden.rs` is run at `FA_SHARDS` ∈ {1, 2, 4, 7} and every
+//! rendering must match the committed golden bytes. `FA_SHARDS` is set via
+//! the process environment, which is safe here because each integration-test
+//! file is its own process and `run_pairs_with_threads(.., 1)` keeps the
+//! campaign single-threaded while the variable changes.
+
+use fa_bench::report::Table;
+use fa_bench::runner::{
+    homogeneous_workload, run_pairs_with_threads, ExperimentScale, UnifiedOutcome,
+};
+use fa_kernel::model::Application;
+use fa_workloads::polybench::PolyBench;
+use std::path::PathBuf;
+
+fn workloads() -> Vec<(String, Vec<Application>)> {
+    let scale = ExperimentScale { data_scale: 512 };
+    vec![
+        (
+            "GEMM".to_string(),
+            homogeneous_workload(PolyBench::Gemm, scale),
+        ),
+        (
+            "ATAX".to_string(),
+            homogeneous_workload(PolyBench::Atax, scale),
+        ),
+    ]
+}
+
+fn render(outcomes: &[UnifiedOutcome]) -> String {
+    let mut table = Table::new(
+        "Golden campaign: homogeneous GEMM + ATAX at 1/512 scale",
+        &[
+            "Workload",
+            "System",
+            "total_s",
+            "throughput_mb_s",
+            "energy_j",
+            "latency_avg_s",
+            "completions",
+        ],
+    );
+    for out in outcomes {
+        table.row(vec![
+            out.workload.clone(),
+            out.system.label().to_string(),
+            format!("{:.9}", out.total_seconds),
+            format!("{:.6}", out.throughput_mb_s),
+            format!("{:.6}", out.total_energy_j()),
+            format!("{:.9}", out.latency_min_avg_max.1),
+            format!("{}", out.completion_times.len()),
+        ]);
+    }
+    table.render()
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("small_campaign.txt")
+}
+
+#[test]
+fn report_is_byte_identical_for_every_shard_count() {
+    let golden = std::fs::read_to_string(golden_path())
+        .expect("golden file must exist; this test never blesses it");
+    let w = workloads();
+    for shards in [1usize, 2, 4, 7] {
+        std::env::set_var("FA_SHARDS", shards.to_string());
+        let rendered = render(&run_pairs_with_threads(&w, 1));
+        assert_eq!(
+            rendered, golden,
+            "FA_SHARDS={shards} campaign report diverged from the golden \
+             bytes — the sharded executor is no longer replaying effects in \
+             serial command order"
+        );
+    }
+    std::env::remove_var("FA_SHARDS");
+}
