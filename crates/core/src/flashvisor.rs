@@ -12,13 +12,14 @@ use crate::config::FlashAbacusConfig;
 use crate::error::FaError;
 use crate::freespace::{FreeSpaceManager, PlacementPolicy};
 use crate::rangelock::{LockId, LockMode, RangeLockTable};
-use fa_flash::{FlashBackbone, FlashOp, OwnerId};
+use fa_flash::{FaultPlan, FlashBackbone, FlashError, FlashOp, OwnerId};
 use fa_platform::mem::Scratchpad;
 use fa_sim::resource::FifoServer;
 use fa_sim::sharded::ShardPlan;
 use fa_sim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Statistics kept by Flashvisor.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -141,6 +142,25 @@ pub struct Flashvisor {
     /// Mapping-table entries modified since the last Storengine journal
     /// dump (incremental journaling writes only these).
     dirty_mapping_entries: u64,
+    /// True once a fault plan is installed: every mapping commit is then
+    /// also appended to `redo_since_journal` so power-loss recovery can
+    /// replay the journal. Fault-free runs never set this and record
+    /// nothing.
+    record_redo: bool,
+    /// Redo records `(logical, physical)` committed since the previous
+    /// successful journal dump. A crash loses these — exactly the commits
+    /// the real device would lose.
+    redo_since_journal: Vec<(u64, u64)>,
+    /// Ordered redo records persisted by successful journal dumps — the
+    /// journal's logical content, replayed by [`Flashvisor::recover`].
+    journal_replay_log: Vec<(u64, u64)>,
+    /// Block rows the fault model condemned but which could not yet be
+    /// vacated (no migration destination, or the destinations kept
+    /// failing); retried on the next retirement pass.
+    pending_retire_rows: VecDeque<u64>,
+    /// The bad-block remap table: block rows retired from service, in
+    /// retirement order.
+    retired_rows: Vec<u64>,
     stats: FlashvisorStats,
 }
 
@@ -187,6 +207,11 @@ impl Flashvisor {
             cpu: FifoServer::new("flashvisor"),
             lwp_ns_per_cycle: 1.0e9 / config.platform.lwp_freq_hz as f64,
             dirty_mapping_entries: 0,
+            record_redo: false,
+            redo_since_journal: Vec::new(),
+            journal_replay_log: Vec::new(),
+            pending_retire_rows: VecDeque::new(),
+            retired_rows: Vec::new(),
             stats: FlashvisorStats::default(),
         }
     }
@@ -438,6 +463,9 @@ impl Flashvisor {
             self.backbone.preload_group(pg * pages, pages)?;
             self.mapping[lg as usize] = pg + 1;
             self.reverse[pg as usize] = lg + 1;
+            // Preloads model data that existed before the run: they must
+            // survive journal replay like any committed mapping.
+            self.record_commit(lg, pg);
         }
         Ok(())
     }
@@ -488,6 +516,7 @@ impl Flashvisor {
             }
         }
         if all_mapped
+            && !self.backbone.faults_affect_reads()
             && self
                 .backbone
                 .groups_readable(pgs.iter().map(|&pg| pg * pages), pages)
@@ -531,6 +560,12 @@ impl Flashvisor {
                     .submit_group(cursor, pg * pages, pages, FlashOp::ReadPage, owner)?;
             finished = finished.max(batch.finished);
             self.stats.group_reads += 1;
+        }
+        // Read-disturb is retry-then-relocate: the channel already retried
+        // the sense; any page it flagged now gets its whole group migrated
+        // to a fresh location before the disturbance can accumulate.
+        if self.backbone.faults_affect_reads() {
+            finished = finished.max(self.relocate_disturbed(finished)?);
         }
         Ok(TransferCompletion {
             accepted: now,
@@ -582,24 +617,36 @@ impl Flashvisor {
             // `hot_overwrite_threshold` times draws its destination from
             // the dedicated hot active blocks.
             let hot = self.is_hot_group(lg);
-            let pg = if hot {
+            let mut pg = if hot {
                 self.stats.hot_group_writes += 1;
                 self.allocate_hot_group()?
             } else {
                 self.stats.cold_group_writes += 1;
                 self.allocate_physical_group()?
             };
-            let batch = match self.backbone.submit_group(
-                cursor,
-                pg * pages,
-                pages,
-                FlashOp::ProgramPage,
-                owner,
-            ) {
-                Ok(batch) => batch,
-                Err(e) => {
-                    self.rollback_failed_allocation(pg);
-                    return Err(e.into());
+            let batch = loop {
+                match self.backbone.submit_group(
+                    cursor,
+                    pg * pages,
+                    pages,
+                    FlashOp::ProgramPage,
+                    owner,
+                ) {
+                    Ok(batch) => break batch,
+                    // Remap-on-failure: an injected program failure burns
+                    // the attempted group (any landed pages are garbage
+                    // until its row erases) and the write retries on a
+                    // fresh destination. This terminates even at p = 1:
+                    // every failed attempt consumes a group, so the
+                    // allocator runs dry in bounded time.
+                    Err(FlashError::InjectedProgramFailure(_)) => {
+                        self.rollback_failed_allocation(pg);
+                        pg = self.allocate_physical_group()?;
+                    }
+                    Err(e) => {
+                        self.rollback_failed_allocation(pg);
+                        return Err(e.into());
+                    }
                 }
             };
             finished = finished.max(batch.finished);
@@ -613,6 +660,7 @@ impl Flashvisor {
             self.mapping[lg as usize] = pg + 1;
             self.reverse[pg as usize] = lg + 1;
             self.dirty_mapping_entries += 1;
+            self.record_commit(lg, pg);
             self.stats.group_writes += 1;
         }
         Ok(TransferCompletion {
@@ -636,6 +684,7 @@ impl Flashvisor {
         let slot = self.mapping.get_mut(logical_group as usize)?;
         self.dirty_mapping_entries += 1;
         let old = std::mem::replace(slot, new_physical + 1).checked_sub(1);
+        self.record_commit(logical_group, new_physical);
         if let Some(old) = old {
             self.release_unmapped_group(old);
         }
@@ -835,6 +884,225 @@ impl Flashvisor {
     /// Size of the mapping table in bytes (scratchpad footprint).
     pub fn mapping_table_bytes(&self) -> u64 {
         self.config.mapping_table_bytes()
+    }
+
+    // ------------------------------------------------------------------
+    // Fault model & power-loss recovery
+    // ------------------------------------------------------------------
+
+    /// Installs the injectable fault plan: per-channel fault state in the
+    /// backbone, plus redo-record keeping here so a power-loss crash can
+    /// be recovered by journal replay. Fault-free runs never call this
+    /// and pay nothing on any hot path.
+    pub fn install_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.backbone.install_fault_plan(plan);
+        self.record_redo = true;
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.backbone.fault_plan()
+    }
+
+    /// The bad-block remap table: block rows retired from service so far,
+    /// in retirement order.
+    pub fn retired_rows(&self) -> &[u64] {
+        &self.retired_rows
+    }
+
+    fn record_commit(&mut self, lg: u64, pg: u64) {
+        if self.record_redo {
+            self.redo_since_journal.push((lg, pg));
+        }
+    }
+
+    /// Moves the redo records accumulated since the previous journal dump
+    /// into the persisted replay log. Storengine calls this when — and
+    /// only when — a journal dump's programs succeeded: commits after the
+    /// last successful dump are lost by a crash, exactly like the real
+    /// device.
+    pub fn flush_redo_to_journal(&mut self) {
+        self.journal_replay_log.append(&mut self.redo_since_journal);
+    }
+
+    /// Number of redo records not yet persisted by a journal dump (test
+    /// and report surface).
+    pub fn unflushed_redo_records(&self) -> usize {
+        self.redo_since_journal.len()
+    }
+
+    /// Power-loss recovery: rebuilds the logical→physical mapping by
+    /// replaying the journal's redo records in commit order (later records
+    /// for the same logical group win — the replay of a log-structured
+    /// journal), derives the reverse index from the result, and
+    /// reconstructs the free-space structure from the recovered mapping
+    /// and the media state: a group is free exactly when it is unmapped
+    /// and holds no programmed page. Reserved ranges, the bad-block table
+    /// and the wear ledger survive (media state, not volatile state); the
+    /// hot reserve and the overwrite classifier are volatile and reset.
+    pub fn recover(&mut self) {
+        for slot in self.mapping.iter_mut() {
+            *slot = 0;
+        }
+        for &(lg, pg) in &self.journal_replay_log {
+            if let Some(slot) = self.mapping.get_mut(lg as usize) {
+                *slot = pg + 1;
+            }
+        }
+        for r in self.reverse.iter_mut() {
+            *r = 0;
+        }
+        for lg in 0..self.mapping.len() {
+            if let Some(pg) = self.mapping[lg].checked_sub(1) {
+                if let Some(r) = self.reverse.get_mut(pg as usize) {
+                    *r = lg as u64 + 1;
+                }
+            }
+        }
+        let reverse = &self.reverse;
+        let index = self.backbone.valid_index();
+        self.freespace
+            .rebuild(|pg| reverse[pg as usize] == 0 && index.group_programmed_pages(pg) == 0);
+        self.hot_reserve.clear();
+        for c in self.overwrite_counts.iter_mut() {
+            *c = 0;
+        }
+        self.dirty_mapping_entries = 0;
+        self.redo_since_journal.clear();
+    }
+
+    /// GC-style migration of one mapped group out of `[excl_low,
+    /// excl_high)`: reads the group's pages, programs a fresh destination
+    /// outside the exclusion window, invalidates the old location, and
+    /// commits the remap. Returns `Ok(Some(end))` on success and
+    /// `Ok(None)` when no destination exists or the destination programs
+    /// kept failing — the old mapping is left intact either way, so the
+    /// data is never lost, merely not yet moved.
+    fn migrate_mapped_group(
+        &mut self,
+        now: SimTime,
+        lg: u64,
+        pg: u64,
+        excl_low: u64,
+        excl_high: u64,
+    ) -> Result<Option<SimTime>, FaError> {
+        let pages = self.config.pages_per_group();
+        let mut cursor = now;
+        if let Ok(batch) =
+            self.backbone
+                .submit_group(now, pg * pages, pages, FlashOp::ReadPage, OwnerId::Gc)
+        {
+            cursor = batch.finished;
+        }
+        for _attempt in 0..2 {
+            let Some(new_pg) = self.allocate_group_for_gc_excluding(excl_low, excl_high) else {
+                return Ok(None);
+            };
+            match self.backbone.submit_group(
+                cursor,
+                new_pg * pages,
+                pages,
+                FlashOp::ProgramPage,
+                OwnerId::Gc,
+            ) {
+                Ok(batch) => {
+                    self.backbone.invalidate_group(pg * pages, pages)?;
+                    self.remap_group(lg, new_pg);
+                    return Ok(Some(batch.finished));
+                }
+                Err(FlashError::InjectedProgramFailure(_)) => {
+                    self.rollback_failed_allocation(new_pg);
+                }
+                Err(e) => {
+                    self.rollback_failed_allocation(new_pg);
+                    return Err(e.into());
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Relocates every group holding a page the fault model flagged as
+    /// read-disturbed. The channel already retried the sense
+    /// (retry-then-relocate's *retry*); here each affected group still
+    /// mapped is migrated to a fresh destination like a GC pass would.
+    /// Returns when the last relocation finished (`now` if none).
+    pub fn relocate_disturbed(&mut self, now: SimTime) -> Result<SimTime, FaError> {
+        let pages = self.config.pages_per_group();
+        let mut groups: Vec<u64> = self
+            .backbone
+            .take_disturbed_pages()
+            .into_iter()
+            .map(|flat| flat / pages)
+            .collect();
+        groups.sort_unstable();
+        groups.dedup();
+        let mut finished = now;
+        for pg in groups {
+            let Some(lg) = self.logical_group_mapped_to(pg) else {
+                continue;
+            };
+            if let Some(end) = self.migrate_mapped_group(finished, lg, pg, 0, 0)? {
+                finished = finished.max(end);
+            }
+        }
+        Ok(finished)
+    }
+
+    /// Promotes the blocks the fault model condemned into the bad-block
+    /// remap table. A failing block condemns its whole block *row* — page
+    /// groups stripe across every channel and die, so one bad block
+    /// poisons every group of its row. Mapped groups are migrated out
+    /// first; once a row is vacated its groups leave the allocator
+    /// permanently (and the wear ledger's placement view), its blocks
+    /// leave GC victim selection, and the row lands in
+    /// [`Flashvisor::retired_rows`]. Rows that could not be fully vacated
+    /// (allocator dry, destinations kept failing) stay pending and are
+    /// retried on the next call. The journal's reserved metadata row is
+    /// never retired. Returns when the last migration finished.
+    pub fn process_retirements(&mut self, now: SimTime) -> Result<SimTime, FaError> {
+        let blocks_per_die = self.config.flash_geometry.blocks_per_die() as u64;
+        for block in self.backbone.take_blocks_pending_retirement() {
+            let row = block % blocks_per_die;
+            if Some(row) == self.config.journal_metadata_row()
+                || self.pending_retire_rows.contains(&row)
+                || self.retired_rows.contains(&row)
+            {
+                continue;
+            }
+            self.pending_retire_rows.push_back(row);
+        }
+        let mut finished = now;
+        let mut still_pending = VecDeque::new();
+        while let Some(row) = self.pending_retire_rows.pop_front() {
+            let (low, high) = self.config.block_row_group_range(row);
+            let mut vacated = true;
+            for (lg, pg) in self.victim_groups(low, high) {
+                match self.migrate_mapped_group(finished, lg, pg, low, high)? {
+                    Some(end) => finished = finished.max(end),
+                    None => vacated = false,
+                }
+            }
+            if vacated {
+                // Groups parked in the hot reserve inside the condemned
+                // row must not be handed out later.
+                self.hot_reserve.retain(|g| *g < low || *g >= high);
+                self.freespace.retire_row(row);
+                let geometry = self.config.flash_geometry;
+                let dies = geometry.dies_per_channel() as u64;
+                for ch in 0..geometry.channels as u64 {
+                    for die in 0..dies {
+                        self.backbone
+                            .retire_block((ch * dies + die) * blocks_per_die + row);
+                    }
+                }
+                self.retired_rows.push(row);
+            } else {
+                still_pending.push_back(row);
+            }
+        }
+        self.pending_retire_rows = still_pending;
+        Ok(finished)
     }
 }
 

@@ -144,6 +144,13 @@ pub struct FreeSpaceManager {
     reserved_flags: Vec<bool>,
     /// Reserved groups, O(1).
     reserved_count: u64,
+    /// Per-group retired flag: groups whose block row was promoted into the
+    /// bad-block table. Retired groups are permanently outside the free
+    /// structure, like reserved ones, but they represent lost capacity
+    /// (media failures), not metadata carve-outs.
+    retired_flags: Vec<bool>,
+    /// Retired groups, O(1).
+    retired_count: u64,
     /// Allocated groups per stripe class.
     occupancy: Vec<u64>,
     /// Block erases absorbed per block row, maintained incrementally by
@@ -180,6 +187,8 @@ impl FreeSpaceManager {
             free_flags: vec![true; total_groups as usize],
             reserved_flags: vec![false; total_groups as usize],
             reserved_count: 0,
+            retired_flags: vec![false; total_groups as usize],
+            retired_count: 0,
             occupancy: vec![0; classes],
             row_wear: Vec::new(),
         };
@@ -230,6 +239,11 @@ impl FreeSpaceManager {
         self.reserved_count
     }
 
+    /// Groups retired with their bad block row (lost capacity). O(1).
+    pub fn retired_count(&self) -> u64 {
+        self.retired_count
+    }
+
     /// The placement policy in force.
     pub fn policy(&self) -> PlacementPolicy {
         self.policy
@@ -255,6 +269,15 @@ impl FreeSpaceManager {
     pub fn row_of_group(&self, g: u64) -> u64 {
         let row_pages = self.pages_per_block * self.channels * self.dies_per_channel;
         (g * self.pages_per_group) / row_pages
+    }
+
+    /// The group range `[low, high)` whose leading pages fall in block row
+    /// `row` — the unit [`FreeSpaceManager::retire_row`] removes.
+    pub fn row_group_range(&self, row: u64) -> (u64, u64) {
+        let row_pages = self.pages_per_block * self.channels * self.dies_per_channel;
+        let per_row = (row_pages / self.pages_per_group).max(1);
+        let low = (row * per_row).min(self.total_groups);
+        (low, (low + per_row).min(self.total_groups))
     }
 
     /// Accumulated block erases per row, indexed by
@@ -296,14 +319,15 @@ impl FreeSpaceManager {
                     g
                 } else {
                     // The cursor range may contain reserved groups (the
-                    // journal row); they are skipped, never handed out.
+                    // journal row) or retired ones (bad block rows); they
+                    // are skipped, never handed out.
                     loop {
                         if *cursor >= self.total_groups {
                             return None;
                         }
                         let g = *cursor;
                         *cursor += 1;
-                        if !self.reserved_flags[g as usize] {
+                        if !self.reserved_flags[g as usize] && !self.retired_flags[g as usize] {
                             break g;
                         }
                     }
@@ -350,6 +374,69 @@ impl FreeSpaceManager {
             .get(g as usize)
             .copied()
             .unwrap_or_default()
+    }
+
+    /// True when group `g` was retired with its bad block row.
+    pub fn is_retired(&self, g: u64) -> bool {
+        self.retired_flags
+            .get(g as usize)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Retires every non-reserved group of block row `row`: the groups
+    /// leave the free structure, the occupancy gauges, and the `LeastWorn`
+    /// wear index permanently — a bad block contaminates the whole row it
+    /// stripes across, so the row stops being placement-eligible. The
+    /// caller guarantees nothing in the row is still mapped (Flashvisor
+    /// migrates mapped groups out first). The row's `row_wear` entry is
+    /// kept: retirement does not rewrite wear history. Idempotent; returns
+    /// how many groups were newly retired.
+    pub fn retire_row(&mut self, row: u64) -> u64 {
+        let (low, high) = self.row_group_range(row);
+        if low >= high {
+            return 0;
+        }
+        let mut newly = 0;
+        for g in low..high {
+            let gi = g as usize;
+            if self.reserved_flags[gi] || self.retired_flags[gi] {
+                continue;
+            }
+            self.retired_flags[gi] = true;
+            self.retired_count += 1;
+            newly += 1;
+            if std::mem::replace(&mut self.free_flags[gi], false) {
+                self.free_count -= 1;
+            } else {
+                // An allocated (garbage) group stops counting as occupied:
+                // occupied + free + reserved + retired stays a partition.
+                let class = self.stripe_class(g);
+                self.occupancy[class] = self.occupancy[class].saturating_sub(1);
+            }
+        }
+        if newly == 0 {
+            return 0;
+        }
+        // Physically remove retired members from the materialized pools
+        // (the FirstFree cursor skips them at pop time instead).
+        let keep = |g: &u64| *g < low || *g >= high;
+        match &mut self.pool {
+            FreePool::FirstFree { recycled, .. } => recycled.retain(keep),
+            FreePool::Striped { queues, .. } => {
+                for q in queues.iter_mut() {
+                    q.retain(keep);
+                }
+            }
+            FreePool::LeastWorn { queues, by_wear } => {
+                let queue = &mut queues[row as usize];
+                queue.retain(keep);
+                if queue.is_empty() {
+                    by_wear.remove(&(self.row_wear[row as usize], row));
+                }
+            }
+        }
+        newly
     }
 
     /// Permanently removes the group range `[low, high)` from the free
@@ -399,7 +486,10 @@ impl FreeSpaceManager {
     /// that is already free (or reserved) is a no-op, so a double recycle
     /// cannot put the same group in the pool twice.
     pub fn recycle(&mut self, g: u64) {
-        if self.free_flags[g as usize] || self.reserved_flags[g as usize] {
+        if self.free_flags[g as usize]
+            || self.reserved_flags[g as usize]
+            || self.retired_flags[g as usize]
+        {
             return;
         }
         self.free_flags[g as usize] = true;
@@ -460,7 +550,7 @@ impl FreeSpaceManager {
         let mut newly_freed = 0;
         let mut touched_rows: Vec<u64> = Vec::new();
         for g in low..high {
-            if self.reserved_flags[g as usize] {
+            if self.reserved_flags[g as usize] || self.retired_flags[g as usize] {
                 continue;
             }
             let was_free = std::mem::replace(&mut self.free_flags[g as usize], true);
@@ -504,6 +594,67 @@ impl FreeSpaceManager {
         newly_freed
     }
 
+    /// Rebuilds the free structure from scratch after a crash: group `g`
+    /// is free exactly when `is_free(g)` says so *and* it is neither
+    /// reserved nor retired. The pool re-enters in ascending group order
+    /// per class/row, the occupancy gauges are recomputed as the
+    /// complement, and the wear ledger (`row_wear`), the reservations, and
+    /// the bad-block retirements are kept — they survive power loss (wear
+    /// is physical; the bad-block table is journaled metadata). The result
+    /// is a pure function of the flags and the predicate, so replaying the
+    /// same journal always reproduces the same allocator.
+    pub fn rebuild(&mut self, is_free: impl Fn(u64) -> bool) {
+        self.free_count = 0;
+        for slot in self.occupancy.iter_mut() {
+            *slot = 0;
+        }
+        for g in 0..self.total_groups {
+            let gi = g as usize;
+            let fenced = self.reserved_flags[gi] || self.retired_flags[gi];
+            let free = !fenced && is_free(g);
+            self.free_flags[gi] = free;
+            if free {
+                self.free_count += 1;
+            } else if !fenced {
+                let class = self.stripe_class(g);
+                self.occupancy[class] += 1;
+            }
+        }
+        let free_ascending = (0..self.total_groups).filter(|&g| self.free_flags[g as usize]);
+        self.pool = match self.policy {
+            PlacementPolicy::FirstFree => FreePool::FirstFree {
+                // Everything re-enters through the recycled FIFO (ascending,
+                // so pops stay in NAND programming order); the cursor is
+                // exhausted.
+                cursor: self.total_groups,
+                recycled: free_ascending.collect(),
+            },
+            PlacementPolicy::ChannelStriped => {
+                let mut queues = vec![VecDeque::new(); self.occupancy.len()];
+                for g in free_ascending {
+                    queues[self.stripe_class(g)].push_back(g);
+                }
+                FreePool::Striped {
+                    queues,
+                    next_class: 0,
+                }
+            }
+            PlacementPolicy::LeastWorn => {
+                let mut queues = vec![VecDeque::new(); self.row_wear.len()];
+                for g in free_ascending {
+                    queues[self.row_of_group(g) as usize].push_back(g);
+                }
+                let by_wear = queues
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, q)| !q.is_empty())
+                    .map(|(row, _)| (self.row_wear[row], row as u64))
+                    .collect();
+                FreePool::LeastWorn { queues, by_wear }
+            }
+        };
+    }
+
     /// Every group currently in the free structure, in pop order per
     /// policy. O(free); property-test oracle only.
     pub fn debug_free_groups(&self) -> Vec<u64> {
@@ -511,7 +662,9 @@ impl FreeSpaceManager {
             FreePool::FirstFree { cursor, recycled } => recycled
                 .iter()
                 .copied()
-                .chain((*cursor..self.total_groups).filter(|g| !self.reserved_flags[*g as usize]))
+                .chain((*cursor..self.total_groups).filter(|g| {
+                    !self.reserved_flags[*g as usize] && !self.retired_flags[*g as usize]
+                }))
                 .collect(),
             FreePool::Striped { queues, .. } => {
                 queues.iter().flat_map(|q| q.iter().copied()).collect()
@@ -711,6 +864,104 @@ mod tests {
                 free.iter().all(|g| !m.is_reserved(*g)),
                 "{policy:?}: reserved group leaked into the pool"
             );
+        }
+    }
+
+    #[test]
+    fn retire_row_removes_the_row_from_every_path() {
+        for policy in PlacementPolicy::all() {
+            // 8 groups of 1 page, 1 channel × 1 die × 4-page blocks: rows
+            // are groups [0,4) and [4,8).
+            let mut m = FreeSpaceManager::new(8, 1, 1, 1, 4, policy);
+            assert_eq!(m.row_group_range(1), (4, 8));
+            // Leave group 1 allocated (garbage) so retirement must also
+            // rebalance the occupancy gauge.
+            let g = loop {
+                let g = m.allocate().unwrap();
+                if g < 4 {
+                    break g;
+                }
+                m.recycle(g);
+            };
+            let newly = m.retire_row(0);
+            assert_eq!(newly, 4, "{policy:?}");
+            assert_eq!(m.retired_count(), 4, "{policy:?}");
+            assert!(m.is_retired(g), "{policy:?}");
+            // Retired groups never allocate...
+            let mut got = Vec::new();
+            while let Some(g) = m.allocate() {
+                got.push(g);
+            }
+            got.sort_unstable();
+            assert!(got.iter().all(|&g| g >= 4), "{policy:?}: {got:?}");
+            // ...never recycle...
+            m.recycle(g);
+            assert_eq!(m.free_count(), 0, "{policy:?}");
+            // ...never resurrect through a row reclaim...
+            assert_eq!(m.reclaim_range(0, 4), 0, "{policy:?}");
+            assert!(m.debug_free_groups().is_empty(), "{policy:?}");
+            // ...and the partition still balances.
+            let occupied: u64 = m.occupancy().iter().sum();
+            assert_eq!(
+                occupied + m.free_count() + m.reserved_count() + m.retired_count(),
+                8,
+                "{policy:?}"
+            );
+            // Idempotent.
+            assert_eq!(m.retire_row(0), 0, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn retire_row_skips_reserved_groups() {
+        let mut m = FreeSpaceManager::new(8, 1, 1, 1, 4, PlacementPolicy::FirstFree);
+        m.reserve_range(0, 2);
+        assert_eq!(m.retire_row(0), 2);
+        assert!(m.is_reserved(0) && !m.is_retired(0));
+        assert!(m.is_retired(2) && m.is_retired(3));
+        assert_eq!(m.reserved_count(), 2);
+        assert_eq!(m.retired_count(), 2);
+    }
+
+    #[test]
+    fn rebuild_reproduces_a_deterministic_ascending_pool() {
+        for policy in PlacementPolicy::all() {
+            // 16 groups of 2 pages, 2 channels × 2 dies × 4-page blocks:
+            // rows are groups [0,8) and [8,16).
+            let mut m = FreeSpaceManager::new(16, 2, 2, 2, 4, policy);
+            m.reserve_range(14, 16);
+            for _ in 0..6 {
+                m.allocate().unwrap();
+            }
+            m.note_block_erase(0);
+            m.retire_row(1);
+            let wear_before = m.row_wear().to_vec();
+            // Crash: rebuild with "mapped" groups 2 and 5 occupied, the
+            // rest free.
+            let mapped = [2u64, 5];
+            m.rebuild(|g| !mapped.contains(&g));
+            assert_eq!(m.row_wear(), &wear_before[..], "{policy:?}");
+            assert!(m.is_reserved(14) && m.is_retired(m.row_group_range(1).0));
+            let free = m.debug_free_groups();
+            assert_eq!(free.len() as u64, m.free_count(), "{policy:?}");
+            assert!(
+                free.iter()
+                    .all(|&g| !mapped.contains(&g) && !m.is_reserved(g) && !m.is_retired(g)),
+                "{policy:?}"
+            );
+            let occupied: u64 = m.occupancy().iter().sum();
+            assert_eq!(occupied, mapped.len() as u64, "{policy:?}");
+            assert_eq!(
+                occupied + m.free_count() + m.reserved_count() + m.retired_count(),
+                16,
+                "{policy:?}"
+            );
+            // A second identical rebuild pops the identical sequence.
+            let mut twin = m.clone();
+            twin.rebuild(|g| !mapped.contains(&g));
+            let a: Vec<Option<u64>> = (0..4).map(|_| m.allocate()).collect();
+            let b: Vec<Option<u64>> = (0..4).map(|_| twin.allocate()).collect();
+            assert_eq!(a, b, "{policy:?}");
         }
     }
 

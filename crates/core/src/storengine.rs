@@ -12,7 +12,7 @@
 use crate::config::FlashAbacusConfig;
 use crate::error::FaError;
 use crate::flashvisor::Flashvisor;
-use fa_flash::{FlashCommand, OwnerId, PhysicalPageAddr};
+use fa_flash::{FlashCommand, FlashError, OwnerId, PhysicalPageAddr};
 use fa_sim::resource::FifoServer;
 use fa_sim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -262,6 +262,11 @@ impl Storengine {
         // A metadata-block erase may have cleared the last programmed pages
         // of data groups; return any unmapped ones to the allocator.
         flashvisor.reclaim_fully_erased();
+        // Every page of the dump landed: the redo records it carried are
+        // now persistent, so crash recovery may replay them. A failed dump
+        // never reaches this point and its records stay volatile — exactly
+        // the commits a crash would lose.
+        flashvisor.flush_redo_to_journal();
         self.stats.journal_dumps += 1;
         self.last_journal = now;
         Ok(finished)
@@ -463,17 +468,38 @@ impl Storengine {
             });
         }
         let mut finished = progress.finished;
+        let mut row_erase_failed = false;
         for ch in 0..geometry.channels {
             for d in 0..geometry.dies_per_channel() {
                 let erase_addr = PhysicalPageAddr::new(ch, d, plan.row as usize, 0);
-                let erased = flashvisor.backbone_mut().submit_tagged(
+                match flashvisor.backbone_mut().submit_tagged(
                     progress.finished,
                     FlashCommand::erase(erase_addr),
                     OwnerId::Gc,
-                )?;
-                finished = finished.max(erased.finished);
-                self.stats.erases += 1;
-                self.stats.blocks_reclaimed += 1;
+                ) {
+                    Ok(erased) => {
+                        finished = finished.max(erased.finished);
+                        self.stats.erases += 1;
+                        self.stats.blocks_reclaimed += 1;
+                    }
+                    // An injected erase failure condemns only that block:
+                    // its siblings still erase, its garbage stays put for a
+                    // retry (or for row retirement once the block crosses
+                    // the failure threshold), and the pass reclaims what
+                    // actually cleared.
+                    Err(FlashError::InjectedEraseFailure(_)) => {
+                        row_erase_failed = true;
+                    }
+                    // A real fault aborts the pass — but sibling blocks may
+                    // already have erased; drain the reclaim list before
+                    // surfacing the error, or their groups (and the wear
+                    // events) would sit unaccounted until the next storage
+                    // activity.
+                    Err(e) => {
+                        flashvisor.reclaim_fully_erased();
+                        return Err(e.into());
+                    }
+                }
             }
         }
         // The fully-erased drain first returns any group the erases cleared
@@ -482,9 +508,16 @@ impl Storengine {
         // reclaim recovers everything the row held: the migrated groups'
         // old locations and the overwrite garbage no migration ever
         // recycled. Both counts are this pass's reclaim — the drain usually
-        // recycles the row's garbage before the range walk can see it.
+        // recycles the row's garbage before the range walk can see it. The
+        // range reclaim assumes every block of the row erased, so after a
+        // failed erase the surviving garbage must stay out of the
+        // allocator and only the drain returns space this pass.
         let drained = flashvisor.reclaim_fully_erased();
-        let ranged = flashvisor.reclaim_group_range(plan.group_low, plan.group_high);
+        let ranged = if row_erase_failed {
+            0
+        } else {
+            flashvisor.reclaim_group_range(plan.group_low, plan.group_high)
+        };
         let reclaimed_groups = drained + ranged;
         self.stats.groups_reclaimed += reclaimed_groups;
         Ok(GcOutcome {

@@ -26,16 +26,28 @@ use crate::rangelock::LockMode;
 use crate::scheduler::{all_kernels, intra_next_ready, static_assignment, SchedulerPolicy};
 use crate::storengine::{GcPassProgress, GcPlan, Storengine};
 use fa_energy::{ActivityCategory, Component, EnergyAccountant};
+use fa_flash::{FaultPlan, FlashError};
 use fa_kernel::chain::{ExecutionChain, ScreenRef};
 use fa_kernel::descriptor::KernelDescriptionTable;
 use fa_kernel::model::Application;
 use fa_platform::lwp::{LwpCore, LwpSpec};
 use fa_platform::mem::MemorySystem;
 use fa_platform::noc::{Crossbar, MessageQueue, PcieLink};
+use fa_sim::crash::PowerLossClock;
 use fa_sim::deferred::DeferredWorkQueue;
 use fa_sim::stats::TimeSeries;
 use fa_sim::time::{SimDuration, SimTime};
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+
+/// An injected media failure is an event the storage stack absorbs
+/// (remap, retire, retry) — never a reason to abort the run.
+fn is_injected_fault(e: &FaError) -> bool {
+    matches!(
+        e,
+        FaError::Flash(FlashError::InjectedProgramFailure(_) | FlashError::InjectedEraseFailure(_))
+    )
+}
 
 /// Background storage-management work, scheduled as deferred events that
 /// contend with foreground traffic instead of executing instantaneously at
@@ -137,11 +149,30 @@ pub struct FlashAbacusSystem {
     /// A background GC campaign is in flight: the watermark check at flush
     /// time must not start a second one.
     gc_campaign_active: bool,
+    /// One-shot power-loss trigger, armed from the fault plan's
+    /// `power_loss_ns`. Disarmed (and free) on fault-free runs.
+    power_loss: PowerLossClock,
+    /// Crash/recovery cycles executed so far.
+    recoveries: u64,
 }
 
 impl FlashAbacusSystem {
-    /// Builds a system from its configuration.
+    /// Builds a system from its configuration, installing the fault plan
+    /// from `FA_FAULTS` when the variable is set (a malformed spec panics:
+    /// silently ignoring a typo would invalidate the experiment).
     pub fn new(config: FlashAbacusConfig) -> Self {
+        let mut system = Self::without_env_faults(config);
+        match FaultPlan::from_env() {
+            Ok(Some(plan)) => system.install_fault_plan(Arc::new(plan)),
+            Ok(None) => {}
+            Err(e) => panic!("invalid FA_FAULTS: {e}"),
+        }
+        system
+    }
+
+    /// Builds a system ignoring `FA_FAULTS` (tests and benches that manage
+    /// fault plans programmatically).
+    pub fn without_env_faults(config: FlashAbacusConfig) -> Self {
         let lwp_spec = LwpSpec::from_platform(&config.platform);
         let workers = (0..config.platform.worker_lwps())
             .map(|i| LwpCore::new(i + config.platform.system_lwps, lwp_spec))
@@ -165,8 +196,28 @@ impl FlashAbacusSystem {
             gc_passes: 0,
             background: DeferredWorkQueue::new(),
             gc_campaign_active: false,
+            power_loss: PowerLossClock::disarmed(),
+            recoveries: 0,
             config,
         }
+    }
+
+    /// Installs an injectable fault plan: per-channel fault state in the
+    /// backbone, redo-record keeping in Flashvisor, and the power-loss
+    /// clock here when the plan schedules one.
+    pub fn install_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.power_loss = PowerLossClock::new(plan.power_loss_ns.map(SimTime::from_ns));
+        self.flashvisor.install_fault_plan(plan);
+    }
+
+    /// The power-loss clock (test and report surface).
+    pub fn power_loss_clock(&self) -> &PowerLossClock {
+        &self.power_loss
+    }
+
+    /// Crash/recovery cycles executed so far.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
     }
 
     /// The system configuration.
@@ -350,11 +401,26 @@ impl FlashAbacusSystem {
     /// instant (the seed behaviour, and the `background_gc=false` default).
     fn run_background_storage(&mut self, now: SimTime) -> Result<(), FaError> {
         if self.storengine.journal_due(now) {
-            self.storengine.journal(now, &mut self.flashvisor)?;
+            match self.storengine.journal(now, &mut self.flashvisor) {
+                Ok(_) => {}
+                // A failed dump stays volatile and is retried next period.
+                Err(e) if is_injected_fault(&e) => {}
+                Err(e) => return Err(e),
+            }
         }
         let mut guard = 0;
         while self.storengine.gc_needed(&self.flashvisor) && guard < 64 {
-            let out = self.storengine.collect_garbage(now, &mut self.flashvisor)?;
+            let out = match self.storengine.collect_garbage(now, &mut self.flashvisor) {
+                Ok(out) => out,
+                // A pass that hit an injected failure retires what it
+                // flushed out and the campaign tries the next victim.
+                Err(e) if is_injected_fault(&e) => {
+                    self.flashvisor.process_retirements(now)?;
+                    guard += 1;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             self.gc_passes += 1;
             guard += 1;
             if out.groups_reclaimed == 0 && self.flashvisor.available_groups() == 0 {
@@ -363,6 +429,9 @@ impl FlashAbacusSystem {
                     available: 0,
                 });
             }
+        }
+        if self.flashvisor.fault_plan().is_some() {
+            self.flashvisor.process_retirements(now)?;
         }
         Ok(())
     }
@@ -374,7 +443,14 @@ impl FlashAbacusSystem {
     /// loop and contend for the channels under the `Gc` owner.
     fn schedule_background_storage(&mut self, now: SimTime) -> Result<(), FaError> {
         if self.storengine.journal_due(now) {
-            self.storengine.journal(now, &mut self.flashvisor)?;
+            match self.storengine.journal(now, &mut self.flashvisor) {
+                Ok(_) => {}
+                Err(e) if is_injected_fault(&e) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if self.flashvisor.fault_plan().is_some() {
+            self.flashvisor.process_retirements(now)?;
         }
         if !self.gc_campaign_active && self.storengine.gc_needed(&self.flashvisor) {
             // Same campaign bound as the synchronous guard (64 passes per
@@ -409,6 +485,47 @@ impl FlashAbacusSystem {
                 remaining,
             } => self.advance_gc_pass(plan, progress, remaining),
         }
+    }
+
+    /// Runs one deferred storage task, absorbing injected media failures:
+    /// the interrupted campaign ends (its plan may reference blocks the
+    /// failure condemned), the bad blocks are retired, and the next flush
+    /// re-evaluates the watermark to start a fresh campaign.
+    fn run_storage_task_tolerant(&mut self, at: SimTime, task: StorageTask) -> Result<(), FaError> {
+        match self.run_storage_task(at, task) {
+            Ok(()) => Ok(()),
+            Err(e) if is_injected_fault(&e) => {
+                self.gc_campaign_active = false;
+                self.flashvisor.process_retirements(at)?;
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Polls the power-loss clock at `now`; when it trips, runs the crash
+    /// protocol: a final supercap-backed journal dump persists the redo
+    /// records accumulated since the last periodic dump, volatile state is
+    /// lost (pending background campaigns die with the power), and the
+    /// mapping is rebuilt by journal replay before the run continues — the
+    /// restart-after-power-loss experiment inside one simulated timeline.
+    fn maybe_power_loss(&mut self, now: SimTime) -> Result<(), FaError> {
+        if !self.power_loss.check(now) {
+            return Ok(());
+        }
+        match self.storengine.journal(now, &mut self.flashvisor) {
+            Ok(_) => {}
+            // The supercap dump itself hit an injected failure: its redo
+            // records stay unpersisted and are lost below, exactly what a
+            // real crash would lose.
+            Err(e) if is_injected_fault(&e) => {}
+            Err(e) => return Err(e),
+        }
+        self.background = DeferredWorkQueue::new();
+        self.gc_campaign_active = false;
+        self.flashvisor.recover();
+        self.recoveries += 1;
+        Ok(())
     }
 
     /// Migrates the next budget-bounded slice of a background pass. An
@@ -699,7 +816,8 @@ impl FlashAbacusSystem {
                     .background
                     .pop()
                     .expect("peeked background task vanished");
-                self.run_storage_task(at, task)?;
+                self.run_storage_task_tolerant(at, task)?;
+                self.maybe_power_loss(at)?;
                 continue;
             }
 
@@ -740,6 +858,7 @@ impl FlashAbacusSystem {
                         worker_state[c.worker].in_flight.saturating_sub(1);
                     worker_state[c.worker].free_at = done_at.max(worker_state[c.worker].free_at);
                     frontier = frontier.max(c.end);
+                    self.maybe_power_loss(c.end)?;
                 }
                 None => {
                     return Err(FaError::SchedulerStalled(format!(
@@ -758,7 +877,15 @@ impl FlashAbacusSystem {
         // Run any remaining background storage campaigns to quiescence (in
         // simulated time; nothing left contends with them).
         while let Some((at, task)) = self.background.pop() {
-            self.run_storage_task(at, task)?;
+            self.run_storage_task_tolerant(at, task)?;
+            self.maybe_power_loss(at)?;
+        }
+        // A power-loss armed past the end of all activity still fires
+        // before the run reports: the crash experiment must not silently
+        // degenerate into a fault-free run because the workload was short.
+        if self.power_loss.armed() {
+            let at = self.power_loss.at().expect("armed clock has an instant");
+            self.maybe_power_loss(frontier.max(at))?;
         }
         Ok(())
     }
@@ -1249,6 +1376,66 @@ mod tests {
             a.foreground_read_p99_s.to_bits(),
             b.foreground_read_p99_s.to_bits()
         );
+    }
+
+    #[test]
+    fn injected_faults_are_absorbed_and_reproducible() {
+        // Acceptance: with a seeded fault plan, the same seed reproduces
+        // the identical fault trace and end state twice. The plan mixes
+        // light probabilistic faults with a scripted pair of program
+        // failures on one block, so exactly that block is condemned
+        // (retire_after=2) and its row deterministically retires while the
+        // run still completes. Aggressive plans that retire a large slice
+        // of this deliberately tight config legitimately end in device
+        // death (OutOfFlashSpace), which the endurance bench exercises.
+        let apps = gc_pressure_workload();
+        let plan = FaultPlan::parse(
+            "seed=7,program=0.0002,erase=0.0001,retire_after=2,\
+             script=program@c0.d0.b3.n1,script=program@c0.d0.b3.n2",
+        )
+        .unwrap();
+        let run_faulty = || {
+            let mut system =
+                FlashAbacusSystem::without_env_faults(gc_pressure_config(SchedulerPolicy::InterDy));
+            system.install_fault_plan(Arc::new(plan.clone()));
+            let out = system.run(&apps).expect("faulty run completes");
+            let stats = system.flashvisor().backbone().fault_stats();
+            let retired = system.flashvisor().retired_rows().to_vec();
+            let mapped: Vec<(u64, u64)> = system.flashvisor().mapped_groups().collect();
+            (out.finished_at, stats, retired, mapped)
+        };
+        let (t1, s1, r1, m1) = run_faulty();
+        let (t2, s2, r2, m2) = run_faulty();
+        assert!(s1.injected_program_failures >= 2, "scripted faults missed");
+        assert!(r1.contains(&3), "scripted block row not retired: {r1:?}");
+        assert_eq!(t1, t2);
+        assert_eq!(s1, s2);
+        assert_eq!(r1, r2);
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn power_loss_recovery_preserves_the_logical_content_and_continues() {
+        let apps = small_workload(3, 0.2);
+        let config = FlashAbacusConfig::tiny_for_tests(SchedulerPolicy::IntraO3);
+        let mut reference = FlashAbacusSystem::without_env_faults(config);
+        let ref_out = reference.run(&apps).expect("reference run completes");
+        // Crash roughly mid-run: the supercap-backed final dump persists
+        // every commit, recovery replays the journal, and the run finishes
+        // with the same logical groups mapped as the fault-free reference.
+        let crash_ns = ref_out.finished_at.as_ns() / 2;
+        let plan = FaultPlan::parse(&format!("power_loss_ns={crash_ns}")).unwrap();
+        let mut crashing = FlashAbacusSystem::without_env_faults(config);
+        crashing.install_fault_plan(Arc::new(plan));
+        crashing.run(&apps).expect("crashing run completes");
+        assert_eq!(crashing.recoveries(), 1);
+        assert!(crashing.power_loss_clock().tripped());
+        let logical = |s: &FlashAbacusSystem| {
+            let mut v: Vec<u64> = s.flashvisor().mapped_groups().map(|(lg, _)| lg).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(logical(&reference), logical(&crashing));
     }
 
     #[test]

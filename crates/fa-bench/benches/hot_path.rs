@@ -5,7 +5,7 @@
 //! batched accounting is priced against, and the group-read sweep compares
 //! the serial section loop against the channel-sharded dispatcher (1 shard
 //! and 4 shards); `perfstat` records the same numbers into
-//! `BENCH_PR7.json`.
+//! `BENCH_PR8.json`.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use fa_bench::perf::{

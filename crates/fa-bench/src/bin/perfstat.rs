@@ -4,23 +4,27 @@
 //! ablation (foreground read p99 under concurrent GC, synchronous vs
 //! backgrounded vs budgeted) and the storage-policy ablation (placement ×
 //! GC-victim × hot/cold wear spread and migration efficiency). Written to
-//! `BENCH_PR7.json`, together with the `shard_scaling` section: the
-//! heterogeneous campaign timed at several `FA_SHARDS` settings (intra-run
-//! channel sharding), asserted bit-identical across shard counts, plus the
-//! window-barrier cost of the sharded executor.
+//! `BENCH_PR8.json`, together with the `shard_scaling` section (the
+//! heterogeneous campaign timed at several `FA_SHARDS` settings, asserted
+//! bit-identical across shard counts, plus the window-barrier cost of the
+//! sharded executor) and the `endurance` section: each placement policy
+//! churned under the identical seeded wear-out fault plan until injected
+//! failures retire enough block rows to kill the device, recording the
+//! host bytes that landed first.
 //!
 //! The wall-clock sections measure the simulator, not the simulated
-//! hardware; the `qos_ablation` and `policy_ablation` sections are
-//! simulated time and exactly reproducible. Knobs: `FA_DATA_SCALE`
-//! (workload size divisor), `FA_THREADS` (parallel campaign width),
-//! `FA_BENCH_OUT` (output path, default `BENCH_PR7.json` in the
-//! working directory).
+//! hardware; the `qos_ablation`, `policy_ablation`, and `endurance`
+//! sections are simulated time and exactly reproducible. Knobs:
+//! `FA_DATA_SCALE` (workload size divisor), `FA_THREADS` (parallel
+//! campaign width), `FA_BENCH_OUT` (output path, default
+//! `BENCH_PR8.json` in the working directory).
 //!
 //! Regenerate with:
 //! ```text
 //! cargo run --release -p fa-bench --bin perfstat
 //! ```
 
+use fa_bench::experiments::endurance::endurance_grid;
 use fa_bench::experiments::fig12_cdf::{gc_pressure_workload, qos_ablation_modes, run_qos_mode};
 use fa_bench::experiments::policy_ablation::{churn_grid, churn_rounds, hot_cold_on_rows};
 use fa_bench::experiments::Campaign;
@@ -423,9 +427,14 @@ fn main() {
         .chain(hot_cold_on_rows(rounds))
         .collect();
 
+    // Endurance-to-death (simulated, deterministic): each placement
+    // policy churned under the identical seeded wear-out fault plan until
+    // the bad-block remap table strangles the allocator.
+    let endurance = endurance_grid();
+
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"pr\": 7,");
+    let _ = writeln!(json, "  \"pr\": 8,");
     let _ = writeln!(json, "  \"data_scale\": {},", scale.data_scale);
     let _ = writeln!(json, "  \"threads\": {threads},");
     json.push_str("  \"campaigns\": [\n");
@@ -652,6 +661,26 @@ fn main() {
         });
     }
     json.push_str("  ],\n");
+    // Bytes-to-death per placement policy under the shared seeded
+    // wear-out fault plan (injected program/erase failures condemn
+    // blocks; condemned blocks retire whole rows).
+    json.push_str("  \"endurance\": [\n");
+    for (i, e) in endurance.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"placement\": \"{}\", \"died\": {}, \"host_bytes_written\": {}, \"rounds_completed\": {}, \"rows_retired\": {}, \"blocks_condemned\": {}, \"program_failures\": {}, \"erase_failures\": {}}}",
+            e.placement,
+            e.died,
+            e.host_bytes_written,
+            e.rounds_completed,
+            e.rows_retired,
+            e.blocks_condemned,
+            e.program_failures,
+            e.erase_failures
+        );
+        json.push_str(if i + 1 < endurance.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
     // Headline ratios: how much LeastWorn narrows the erase spread vs
     // FirstFree (same greedy victims), and how much the smartest victim
     // policy cuts migrated-bytes-per-reclaimed-byte vs round-robin.
@@ -694,7 +723,7 @@ fn main() {
     );
     json.push_str("}\n");
 
-    let out_path = std::env::var("FA_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR7.json".to_string());
+    let out_path = std::env::var("FA_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR8.json".to_string());
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     println!("{json}");
     eprintln!("perfstat: wrote {out_path}");

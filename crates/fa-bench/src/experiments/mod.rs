@@ -6,6 +6,7 @@
 //! which all project the same runs, do not repeat the simulations.
 
 pub mod campaign;
+pub mod endurance;
 pub mod fig10_throughput;
 pub mod fig11_latency;
 pub mod fig12_cdf;

@@ -8,6 +8,7 @@
 
 use crate::controller::{ChannelController, ChannelOp, ChannelStats};
 use crate::error::FlashError;
+use crate::fault::{FaultPlan, FaultState, FaultStats};
 use crate::geometry::{FlashGeometry, PhysicalPageAddr};
 use crate::owner::{OwnerId, OwnerStats, QosBudgets};
 use crate::timing::FlashTiming;
@@ -17,6 +18,7 @@ use fa_sim::sharded::{Outbox, ShardPlan, ShardedEngine};
 use fa_sim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Operations accepted by the backbone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -133,6 +135,10 @@ pub struct FlashBackbone {
     /// group hot loop skips the bytes-to-duration conversion per page
     /// (identical value to what `srio.reserve` would derive).
     srio_page_service: SimDuration,
+    /// The installed fault plan, if any. `None` (the default) means no
+    /// channel carries fault state and every hook is one dead branch —
+    /// fault-free runs stay byte-identical to the recorded golden campaign.
+    fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl FlashBackbone {
@@ -166,7 +172,85 @@ impl FlashBackbone {
                 geometry.page_bytes as u64,
                 srio_bytes_per_sec,
             ),
+            fault_plan: None,
         }
+    }
+
+    /// Installs a fault plan: every channel controller receives its own
+    /// channel-local [`FaultState`] built from the shared plan, so fault
+    /// decisions depend only on each channel's own command sequence
+    /// (shard-safe determinism; see [`crate::fault`]).
+    pub fn install_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        for channel in &mut self.channels {
+            let index = channel.index();
+            channel.install_fault_state(FaultState::new(plan.clone(), index));
+        }
+        self.fault_plan = Some(plan);
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.fault_plan.as_ref()
+    }
+
+    /// True when an installed plan can fault the read path (read-disturb or
+    /// a scripted read fault). The translation layer routes section reads
+    /// through the serial fallback in that case — the sharded fast path
+    /// prechecks that no command can fault.
+    pub fn faults_affect_reads(&self) -> bool {
+        self.fault_plan.as_ref().is_some_and(|p| p.affects_reads())
+    }
+
+    /// Drains the flat page indexes hit by read-disturb since the last
+    /// drain, channels in ascending order (each channel's pages in the
+    /// order it recorded them). The translation layer relocates the
+    /// containing groups before the disturbed data degrades further.
+    pub fn take_disturbed_pages(&mut self) -> Vec<u64> {
+        let geometry = self.geometry;
+        let mut pages = Vec::new();
+        for channel in &mut self.channels {
+            if let Some(f) = channel.fault_state_mut() {
+                pages.extend(
+                    f.take_disturbed()
+                        .into_iter()
+                        .map(|a| geometry.addr_to_flat(a)),
+                );
+            }
+        }
+        pages
+    }
+
+    /// Drains the blocks that crossed the fault plan's `retire_after`
+    /// threshold since the last drain, as flat
+    /// [`FlashGeometry::block_index`] values, channels in ascending order.
+    /// The translation layer promotes these into its bad-block table.
+    pub fn take_blocks_pending_retirement(&mut self) -> Vec<u64> {
+        let dies = self.geometry.dies_per_channel() as u64;
+        let blocks_per_die = self.geometry.blocks_per_die() as u64;
+        let mut blocks = Vec::new();
+        for channel in &mut self.channels {
+            let c = channel.index() as u64;
+            if let Some(f) = channel.fault_state_mut() {
+                blocks.extend(
+                    f.take_retired_pending().into_iter().map(|(die, block)| {
+                        (c * dies + die as u64) * blocks_per_die + block as u64
+                    }),
+                );
+            }
+        }
+        blocks
+    }
+
+    /// Device-wide fault statistics: the element-wise sum over every
+    /// channel's fault state (all zeros when no plan is installed).
+    pub fn fault_stats(&self) -> FaultStats {
+        let mut total = FaultStats::default();
+        for channel in &self.channels {
+            if let Some(f) = channel.fault_state() {
+                total.absorb(f.stats());
+            }
+        }
+        total
     }
 
     /// Dense accounting slot for `owner`, growing the per-owner arrays on
@@ -280,6 +364,21 @@ impl FlashBackbone {
         self.submit_tagged(now, command, OwnerId::Unattributed)
     }
 
+    /// Books an injected program failure into the valid index: the die
+    /// really consumed the page (the media programmed garbage before
+    /// reporting the failure), so occupancy must record it as
+    /// programmed-then-invalid. The recycle/rollback paths key on
+    /// programmed counts — recycling a silently page-consumed group would
+    /// later program it again without an erase.
+    fn book_failed_program(&mut self, e: &FlashError, now_ns: u64) {
+        if let FlashError::InjectedProgramFailure(addr) = e {
+            let block = self.geometry.block_index(*addr);
+            let flat = self.geometry.addr_to_flat(*addr);
+            self.valid_index.on_program(block, flat, now_ns);
+            self.valid_index.on_invalidate(block, flat);
+        }
+    }
+
     /// Submits a command at `now` on behalf of `owner` and returns its
     /// completion record. The owner identity reaches the channel
     /// controller's tag queue (per-owner budget admission) and the
@@ -318,7 +417,13 @@ impl FlashBackbone {
                 // Write data crosses SRIO before it reaches the channel.
                 let res = self.srio.reserve(now, page_bytes);
                 let done =
-                    channel.execute(res.end, ChannelOp::Program, command.addr, owner, None)?;
+                    match channel.execute(res.end, ChannelOp::Program, command.addr, owner, None) {
+                        Ok(done) => done,
+                        Err(e) => {
+                            self.book_failed_program(&e, now.as_ns());
+                            return Err(e);
+                        }
+                    };
                 self.valid_index.on_program(block, flat, now.as_ns());
                 self.stats.programs += 1;
                 self.stats.srio_bytes += page_bytes;
@@ -422,6 +527,11 @@ impl FlashBackbone {
                             finished = finished.max(done);
                         }
                         Err(e) => {
+                            // Flush the successful programs first so the
+                            // failed page books in per-command order.
+                            self.valid_index
+                                .on_program_batch(programmed.drain(..), now_ns);
+                            self.book_failed_program(&e, now_ns);
                             error = Some(e);
                             break;
                         }
@@ -552,6 +662,79 @@ impl FlashBackbone {
                             finished = finished.max(done);
                         }
                         Err(e) => {
+                            // Flush the successful programs first so the
+                            // failed page books in per-command order.
+                            self.valid_index
+                                .on_program_batch(programmed.drain(..), now_ns);
+                            self.book_failed_program(&e, now_ns);
+                            // An injected failure closes the stripe: the
+                            // group's remaining pages are padded (programmed
+                            // and discarded) so sibling dies' write cursors
+                            // stay in lockstep with the failed one — without
+                            // this, the next group's programs would be
+                            // non-sequential on every die the abort skipped.
+                            if matches!(e, FlashError::InjectedProgramFailure(_)) {
+                                let mut pad = addr;
+                                for j in i + 1..pages {
+                                    pad.channel += 1;
+                                    if pad.channel == channels {
+                                        pad.channel = 0;
+                                        pad.die += 1;
+                                        if pad.die == dies {
+                                            pad.die = 0;
+                                            pad.page += 1;
+                                            if pad.page == pages_per_block {
+                                                pad.page = 0;
+                                                pad.block += 1;
+                                            }
+                                        }
+                                    }
+                                    let res =
+                                        self.srio.reserve_prepaid(now, page_bytes, srio_service);
+                                    let outcome = self.channels[pad.channel].execute(
+                                        res.end,
+                                        ChannelOp::Program,
+                                        pad,
+                                        owner,
+                                        None,
+                                    );
+                                    let block = (pad.channel as u64 * dies as u64 + pad.die as u64)
+                                        * blocks_per_die
+                                        + pad.block as u64;
+                                    match outcome {
+                                        // A clean pad program must be
+                                        // discarded at the die as well, so
+                                        // page state, controller counters,
+                                        // and index agree that it is
+                                        // programmed garbage.
+                                        Ok(_) => {
+                                            let _ = self.channels[pad.channel].invalidate(pad);
+                                            self.valid_index.on_program(
+                                                block,
+                                                first_flat + j,
+                                                now_ns,
+                                            );
+                                            self.valid_index.on_invalidate(block, first_flat + j);
+                                        }
+                                        // A pad page drawing its own injected
+                                        // failure lands in the same state:
+                                        // the fault hook already invalidated
+                                        // it at the die.
+                                        Err(FlashError::InjectedProgramFailure(_)) => {
+                                            self.valid_index.on_program(
+                                                block,
+                                                first_flat + j,
+                                                now_ns,
+                                            );
+                                            self.valid_index.on_invalidate(block, first_flat + j);
+                                        }
+                                        // Anything else (out of range, worn
+                                        // die) is a real fault; stop padding
+                                        // and surface the original error.
+                                        Err(_) => break,
+                                    }
+                                }
+                            }
                             error = Some(e);
                             break;
                         }
@@ -966,6 +1149,13 @@ impl FlashBackbone {
         &self.valid_index
     }
 
+    /// Promotes a flat block into the bad-block table of the valid-page
+    /// index: no GC victim policy will propose it again. See
+    /// [`ValidPageIndex::retire_block`].
+    pub fn retire_block(&mut self, flat_block: u64) {
+        self.valid_index.retire_block(flat_block);
+    }
+
     /// Drains the page groups whose last programmed page was cleared by an
     /// erase since the previous call. With group tracking enabled, these
     /// are exactly the groups an erase made reusable — including
@@ -1290,6 +1480,64 @@ mod tests {
         }
         // The foreground aggregate covers exactly the two kernels' reads.
         assert!(b.foreground_read_latency_quantile(0.99).is_some());
+    }
+
+    #[test]
+    fn fault_plan_installs_per_channel_and_drains_flat_indexes() {
+        use crate::fault::{threshold_from_probability, FaultPlan};
+        let mut b = backbone();
+        let g = *b.geometry();
+        b.install_fault_plan(Arc::new(FaultPlan {
+            program_threshold: threshold_from_probability(1.0),
+            retire_after: 1,
+            ..FaultPlan::default()
+        }));
+        assert!(b.fault_plan().is_some());
+        assert!(!b.faults_affect_reads());
+        let addr = PhysicalPageAddr::new(1, 0, 2, 0);
+        let err = b
+            .submit(SimTime::ZERO, FlashCommand::program(addr))
+            .unwrap_err();
+        assert!(matches!(err, FlashError::InjectedProgramFailure(_)));
+        // The failed program never became valid anywhere.
+        assert_eq!(b.total_valid_pages(), 0);
+        assert_eq!(b.recount_valid_pages(), 0);
+        // One failure with retire_after=1 promotes the block, reported as
+        // its flat block index.
+        assert_eq!(
+            b.take_blocks_pending_retirement(),
+            vec![g.block_index(addr)]
+        );
+        assert!(b.take_blocks_pending_retirement().is_empty());
+        assert_eq!(b.fault_stats().injected_program_failures, 1);
+        assert_eq!(b.fault_stats().blocks_retired, 1);
+    }
+
+    #[test]
+    fn disturbed_pages_drain_as_flat_pages_channels_ascending() {
+        use crate::fault::{threshold_from_probability, FaultPlan};
+        let mut b = backbone();
+        let g = *b.geometry();
+        let a0 = PhysicalPageAddr::new(0, 0, 0, 0);
+        let a1 = PhysicalPageAddr::new(1, 0, 0, 0);
+        let t0 = b.submit(SimTime::ZERO, FlashCommand::program(a0)).unwrap();
+        let t1 = b.submit(SimTime::ZERO, FlashCommand::program(a1)).unwrap();
+        b.install_fault_plan(Arc::new(FaultPlan {
+            read_disturb_threshold: threshold_from_probability(1.0),
+            ..FaultPlan::default()
+        }));
+        assert!(b.faults_affect_reads());
+        let t = t0.finished.max(t1.finished);
+        // Submit in descending channel order; the drain still reports
+        // channels ascending.
+        b.submit(t, FlashCommand::read(a1)).unwrap();
+        b.submit(t, FlashCommand::read(a0)).unwrap();
+        assert_eq!(
+            b.take_disturbed_pages(),
+            vec![g.addr_to_flat(a0), g.addr_to_flat(a1)]
+        );
+        assert!(b.take_disturbed_pages().is_empty());
+        assert_eq!(b.fault_stats().read_disturbs, 2);
     }
 
     #[test]

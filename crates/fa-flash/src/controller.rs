@@ -9,6 +9,7 @@
 
 use crate::die::FlashDie;
 use crate::error::FlashError;
+use crate::fault::{FaultOp, FaultState};
 use crate::geometry::{FlashGeometry, PhysicalPageAddr};
 use crate::owner::{OwnerId, QosBudgets};
 use crate::timing::FlashTiming;
@@ -79,6 +80,11 @@ pub struct ChannelController {
     /// and [`ChannelController::preload`]. Mutating a die directly through
     /// [`ChannelController::die_mut`] bypasses this counter.
     valid_pages: usize,
+    /// Channel-local fault state, installed by the backbone when a fault
+    /// plan is active. `None` (the default) keeps every hook a single
+    /// branch, so fault-free runs stay byte-identical to the recorded
+    /// golden campaign.
+    fault: Option<FaultState>,
     stats: ChannelStats,
 }
 
@@ -111,8 +117,24 @@ impl ChannelController {
             owner_outstanding: Vec::new(),
             owner_peaks: Vec::new(),
             valid_pages: 0,
+            fault: None,
             stats: ChannelStats::default(),
         }
+    }
+
+    /// Installs the channel-local fault state (see [`crate::fault`]).
+    pub fn install_fault_state(&mut self, state: FaultState) {
+        self.fault = Some(state);
+    }
+
+    /// The channel's fault state, if a plan is installed.
+    pub fn fault_state(&self) -> Option<&FaultState> {
+        self.fault.as_ref()
+    }
+
+    /// Mutable access to the channel's fault state (drain lists).
+    pub fn fault_state_mut(&mut self) -> Option<&mut FaultState> {
+        self.fault.as_mut()
     }
 
     /// Installs per-owner tag budgets (unlimited by default).
@@ -179,7 +201,15 @@ impl ChannelController {
     /// and an owner already holding its whole tag budget is deferred until
     /// one of *its own* commands retires — other owners are admitted past
     /// it rather than FIFO-stalling behind it.
-    fn admit(&mut self, now: SimTime, owner: OwnerId) -> SimTime {
+    ///
+    /// Errors with [`FlashError::CompletionOrderViolation`] if the shared
+    /// and per-owner completion queues ever disagree while retiring — the
+    /// invariant the whole suffix-scan admission model rests on. It used to
+    /// be a `debug_assert`, which meant a release build with corrupted
+    /// ordering (e.g. from a faulty completion path) would silently skew
+    /// every subsequent admission; now the corruption surfaces at the first
+    /// retire that observes it.
+    fn admit(&mut self, now: SimTime, owner: OwnerId) -> Result<SimTime, FlashError> {
         let oi = self.ensure_owner_slot(owner);
         // Drop commands that have already retired by the submission instant.
         // Each retired entry pops from the shared queue and the front of its
@@ -188,7 +218,11 @@ impl ChannelController {
         while matches!(self.outstanding.front(), Some((done, _)) if *done <= now) {
             let (done, o) = self.outstanding.pop_front().expect("checked front");
             let popped = self.owner_outstanding[o as usize].pop_front();
-            debug_assert_eq!(popped, Some(done));
+            if popped != Some(done) {
+                return Err(FlashError::CompletionOrderViolation {
+                    channel: self.index,
+                });
+            }
         }
         let occupancy = self.outstanding.len();
         let mut admitted = if occupancy < self.inbound_tags {
@@ -252,7 +286,7 @@ impl ChannelController {
             owner_in_flight += 1;
         }
         self.owner_peaks[oi] = self.owner_peaks[oi].max(owner_in_flight + 1);
-        admitted
+        Ok(admitted)
     }
 
     /// Grows the dense per-owner structures to cover `owner`, returning its
@@ -300,28 +334,82 @@ impl ChannelController {
             Some(t) => t.page_transfer(self.page_bytes),
             None => self.page_xfer,
         };
-        let admitted = self.admit(now, owner) + timing.controller_overhead;
+        let admitted = self.admit(now, owner)? + timing.controller_overhead;
+        // Fault decision, rolled before the die operation. The counters it
+        // advances are channel-local, so the verdict depends only on this
+        // channel's own command sequence — identical under the serial loop
+        // and the channel-sharded executor.
+        let faulted = match self.fault.as_mut() {
+            Some(f) => f.decide(
+                match op {
+                    ChannelOp::Read => FaultOp::Read,
+                    ChannelOp::Program => FaultOp::Program,
+                    ChannelOp::Erase => FaultOp::Erase,
+                },
+                addr,
+            ),
+            None => false,
+        };
         let page_bytes = self.page_bytes;
         let die = &mut self.dies[addr.die];
         let completion = match op {
             ChannelOp::Read => {
                 let sense = die.read_page(admitted, addr.block, addr.page, &timing)?;
+                // Read-disturb: the first sense needs a retry before the
+                // data is correctable, then the page must be relocated. The
+                // command still succeeds — it just pays a second array read
+                // and queues the page on the disturb list.
+                let sense_end = if faulted {
+                    let retry = die
+                        .read_page(sense.end, addr.block, addr.page, &timing)
+                        .expect("retry of a page that just read cleanly");
+                    retry.end
+                } else {
+                    sense.end
+                };
                 // Data comes off the array, then crosses the channel bus.
-                let xfer = self.bus.reserve_duration(sense.end, page_xfer);
+                let xfer = self.bus.reserve_duration(sense_end, page_xfer);
                 self.stats.reads += 1;
                 self.stats.bytes_transferred += page_bytes as u64;
+                if faulted {
+                    self.fault
+                        .as_mut()
+                        .expect("faulted implies fault state")
+                        .note_disturb(addr);
+                }
                 xfer.end
             }
             ChannelOp::Program => {
                 // Data crosses the bus into the die's page register first.
                 let xfer = self.bus.reserve_duration(admitted, page_xfer);
                 let prog = die.program_page(xfer.end, addr.block, addr.page, &timing)?;
-                self.valid_pages += 1;
                 self.stats.programs += 1;
                 self.stats.bytes_transferred += page_bytes as u64;
+                if faulted {
+                    // The program consumed the page (NAND write cursors only
+                    // move forward) but the data reads back uncorrectable:
+                    // the page goes straight to Invalid, the channel's valid
+                    // count stays put, and the caller gets the error so the
+                    // translation layer can re-allocate elsewhere.
+                    die.invalidate_page(addr.block, addr.page)
+                        .expect("freshly programmed page is valid");
+                    self.record_completion(prog.end, owner);
+                    self.note_block_failure(FaultOp::Program, addr);
+                    return Err(FlashError::InjectedProgramFailure(addr));
+                }
+                self.valid_pages += 1;
                 prog.end
             }
             ChannelOp::Erase => {
+                if faulted {
+                    // The erase pulse ran (the die is busy for the full
+                    // erase latency) but the block kept its contents and
+                    // its wear counter did not advance.
+                    let res = die.failed_erase(admitted, &timing);
+                    self.record_completion(res.end, owner);
+                    self.note_block_failure(FaultOp::Erase, addr);
+                    return Err(FlashError::InjectedEraseFailure(addr));
+                }
                 // Capture what the erase reclaims before the die resets it.
                 let reclaimed = die.valid_pages_in(addr.block);
                 let erase = die.erase_block(admitted, addr.block, &timing)?;
@@ -332,6 +420,12 @@ impl ChannelController {
         };
         self.record_completion(completion, owner);
         Ok(completion)
+    }
+
+    fn note_block_failure(&mut self, op: FaultOp, addr: PhysicalPageAddr) {
+        if let Some(f) = self.fault.as_mut() {
+            f.note_failure(op, addr);
+        }
     }
 
     /// Marks a page invalid without consuming channel time.
@@ -640,6 +734,132 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, FlashError::OutOfRange(_)));
+    }
+
+    #[test]
+    fn injected_program_failure_scraps_the_page_and_retires_the_block() {
+        use crate::fault::{threshold_from_probability, FaultPlan, FaultState};
+        use std::sync::Arc;
+        let mut c = controller();
+        let plan = Arc::new(FaultPlan {
+            program_threshold: threshold_from_probability(1.0),
+            retire_after: 2,
+            ..FaultPlan::default()
+        });
+        c.install_fault_state(FaultState::new(plan, 0));
+        for page in 0..2 {
+            let err = c
+                .execute(
+                    SimTime::ZERO,
+                    ChannelOp::Program,
+                    PhysicalPageAddr::new(0, 0, 0, page),
+                    OwnerId::Unattributed,
+                    None,
+                )
+                .unwrap_err();
+            assert!(matches!(err, FlashError::InjectedProgramFailure(_)));
+        }
+        // The scrapped pages are Invalid, never Valid: the incremental
+        // channel count and the brute-force recount agree at zero.
+        assert_eq!(c.total_valid_pages(), 0);
+        assert_eq!(c.recount_valid_pages(), 0);
+        // The write cursor moved past the scrapped pages, so the block's
+        // next legal program is page 2.
+        assert_eq!(c.die(0).unwrap().programmed_pages_in(0), 2);
+        // Two failures crossed retire_after=2: the block is pending
+        // retirement, exactly once.
+        assert_eq!(
+            c.fault_state_mut().unwrap().take_retired_pending(),
+            vec![(0, 0)]
+        );
+    }
+
+    #[test]
+    fn injected_erase_failure_preserves_block_state_and_wear() {
+        use crate::fault::{threshold_from_probability, FaultPlan, FaultState};
+        use std::sync::Arc;
+        let mut c = controller();
+        let addr = PhysicalPageAddr::new(0, 0, 0, 0);
+        c.execute(
+            SimTime::ZERO,
+            ChannelOp::Program,
+            addr,
+            OwnerId::Unattributed,
+            None,
+        )
+        .unwrap();
+        let plan = Arc::new(FaultPlan {
+            erase_threshold: threshold_from_probability(1.0),
+            ..FaultPlan::default()
+        });
+        c.install_fault_state(FaultState::new(plan, 0));
+        let busy_before = c.die(0).unwrap().next_free();
+        let err = c
+            .execute(
+                SimTime::ZERO,
+                ChannelOp::Erase,
+                addr,
+                OwnerId::Unattributed,
+                None,
+            )
+            .unwrap_err();
+        assert!(matches!(err, FlashError::InjectedEraseFailure(_)));
+        // The block kept its data, its wear counter, and the channel count.
+        assert_eq!(c.total_valid_pages(), 1);
+        assert_eq!(c.die(0).unwrap().erase_count(0), 0);
+        assert_eq!(c.stats().erases, 0);
+        // The die was still busy for the failed pulse: the failed erase
+        // charged real device time.
+        assert!(c.die(0).unwrap().next_free() > busy_before);
+    }
+
+    #[test]
+    fn read_disturb_retries_then_queues_the_page_for_relocation() {
+        use crate::fault::{threshold_from_probability, FaultPlan, FaultState};
+        use std::sync::Arc;
+        let mut clean = controller();
+        let mut disturbed = controller();
+        let addr = PhysicalPageAddr::new(0, 0, 0, 0);
+        for c in [&mut clean, &mut disturbed] {
+            c.execute(
+                SimTime::ZERO,
+                ChannelOp::Program,
+                addr,
+                OwnerId::Unattributed,
+                None,
+            )
+            .unwrap();
+        }
+        let plan = Arc::new(FaultPlan {
+            read_disturb_threshold: threshold_from_probability(1.0),
+            ..FaultPlan::default()
+        });
+        disturbed.install_fault_state(FaultState::new(plan, 0));
+        let t_clean = clean
+            .execute(
+                SimTime::from_ms(1),
+                ChannelOp::Read,
+                addr,
+                OwnerId::Unattributed,
+                None,
+            )
+            .unwrap();
+        let t_disturbed = disturbed
+            .execute(
+                SimTime::from_ms(1),
+                ChannelOp::Read,
+                addr,
+                OwnerId::Unattributed,
+                None,
+            )
+            .unwrap();
+        // The disturbed read still succeeds, but pays the retry sense.
+        assert!(t_disturbed > t_clean);
+        assert_eq!(
+            disturbed.fault_state_mut().unwrap().take_disturbed(),
+            vec![addr]
+        );
+        assert_eq!(disturbed.fault_state().unwrap().stats().read_disturbs, 1);
     }
 
     #[test]

@@ -269,6 +269,14 @@ impl FlashDie {
         Ok(())
     }
 
+    /// Charges one erase-long busy window on the die without touching any
+    /// block state: an erase attempt the media rejected. The block keeps
+    /// its pages and its erase counter, so the wear ledger only ever counts
+    /// erases that actually completed.
+    pub fn failed_erase(&mut self, now: SimTime, timing: &FlashTiming) -> Reservation {
+        self.server.serve(now, timing.erase_block)
+    }
+
     /// Erases a block, freeing every page in it.
     pub fn erase_block(
         &mut self,

@@ -32,6 +32,24 @@ pub enum FlashError {
     },
     /// A read was issued to a page that has never been programmed.
     ReadUnwritten(PhysicalPageAddr),
+    /// The fault plan failed this program: the page was written but reads
+    /// back uncorrectable, so the data never became valid. Flashvisor
+    /// handles it by re-allocating the group elsewhere (§4.3 remap).
+    InjectedProgramFailure(PhysicalPageAddr),
+    /// The fault plan failed this erase: the block kept its contents and
+    /// its erase counter did not advance. Repeated failures promote the
+    /// block into the bad-block table.
+    InjectedEraseFailure(PhysicalPageAddr),
+    /// The controller's completion queues disagreed while retiring a
+    /// command: the shared tag queue and the per-owner queue popped
+    /// different completion times. This is an internal invariant of the
+    /// admission model — it can only fire if reordering corrupted the
+    /// outstanding-tag accounting — and is surfaced as a hard error so a
+    /// fault-induced reordering can never silently skew admission.
+    CompletionOrderViolation {
+        /// The channel whose controller detected the mismatch.
+        channel: usize,
+    },
 }
 
 impl fmt::Display for FlashError {
@@ -52,6 +70,14 @@ impl fmt::Display for FlashError {
                 write!(f, "block at {addr:?} worn out after {erase_cycles} erases")
             }
             FlashError::ReadUnwritten(a) => write!(f, "read of unwritten page: {a:?}"),
+            FlashError::InjectedProgramFailure(a) => {
+                write!(f, "injected program failure at {a:?}")
+            }
+            FlashError::InjectedEraseFailure(a) => write!(f, "injected erase failure at {a:?}"),
+            FlashError::CompletionOrderViolation { channel } => write!(
+                f,
+                "completion-order violation in channel {channel} tag queues"
+            ),
         }
     }
 }
@@ -79,11 +105,17 @@ mod tests {
             }
             .to_string(),
             FlashError::ReadUnwritten(addr).to_string(),
+            FlashError::InjectedProgramFailure(addr).to_string(),
+            FlashError::InjectedEraseFailure(addr).to_string(),
+            FlashError::CompletionOrderViolation { channel: 3 }.to_string(),
         ];
         for m in &messages {
             assert!(m.contains("channel: 1") || !m.is_empty());
         }
         assert!(messages[2].contains("expected page 7"));
         assert!(messages[3].contains("3000"));
+        assert!(messages[5].contains("injected program failure"));
+        assert!(messages[6].contains("injected erase failure"));
+        assert!(messages[7].contains("channel 3"));
     }
 }

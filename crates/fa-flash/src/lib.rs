@@ -22,6 +22,10 @@
 //! * [`owner`] — owner identity ([`OwnerId`]) threaded from the
 //!   translation layer down to the channel tag queues, per-owner QoS
 //!   budgets, and per-owner statistics.
+//! * [`fault`] — the injectable, deterministic fault model: seedable
+//!   program/erase failures, scripted per-block faults, read-disturb, and
+//!   the power-loss tick, decided by channel-local hashes so fault traces
+//!   reproduce under any shard count.
 //! * [`spec`] — the Table 1 default configuration.
 //!
 //! The model tracks *page state*, not page contents: what matters for the
@@ -32,6 +36,7 @@ pub mod backbone;
 pub mod controller;
 pub mod die;
 pub mod error;
+pub mod fault;
 pub mod geometry;
 pub mod owner;
 pub mod spec;
@@ -44,6 +49,7 @@ pub use backbone::{
 pub use controller::ChannelController;
 pub use die::{DieStats, FlashDie, PageState};
 pub use error::FlashError;
+pub use fault::{FaultOp, FaultPlan, FaultState, FaultStats, ScriptedFault};
 pub use geometry::{FlashGeometry, PhysicalPageAddr};
 pub use owner::{OwnerId, OwnerStats, QosBudgets};
 pub use spec::backbone_spec_table1;

@@ -138,6 +138,11 @@ pub struct ValidPageIndex {
     /// Instant (ns) of the last program landing in each block — the age
     /// base of the cost-benefit score.
     last_program_ns: Vec<u64>,
+    /// Blocks promoted into the bad-block table: permanently excluded from
+    /// the garbage buckets, so no victim policy ever proposes erasing a
+    /// block the media already rejected. All-false unless a fault plan
+    /// retired something.
+    retired: Vec<bool>,
     /// Page-group accounting, when enabled.
     groups: Option<GroupTracker>,
 }
@@ -160,6 +165,7 @@ impl ValidPageIndex {
             erase_counts: vec![0; total_blocks],
             erase_events: Vec::new(),
             last_program_ns: vec![0; total_blocks],
+            retired: vec![false; total_blocks],
             groups: None,
         }
     }
@@ -206,6 +212,11 @@ impl ValidPageIndex {
     }
 
     fn bucket_insert(&mut self, level: u32, block: u32) {
+        // Retired blocks never re-enter the victim structure, no matter how
+        // much garbage they accumulate.
+        if self.retired[block as usize] {
+            return;
+        }
         let l = level as usize;
         let word = &mut self.buckets[l * self.words_per_level + (block as usize >> 6)];
         let bit = 1u64 << (block & 63);
@@ -524,6 +535,30 @@ impl ValidPageIndex {
         best.map(|(_, _, block)| block as u64)
     }
 
+    /// Promotes `block` into the bad-block table: it leaves the garbage
+    /// buckets immediately and never re-enters, so neither victim policy
+    /// can propose erasing it again. Counters (valid, programmed, wear)
+    /// keep tracking it — retirement hides the block from GC, it does not
+    /// rewrite its state. Idempotent.
+    pub fn retire_block(&mut self, block: u64) {
+        let b = block as usize;
+        if b >= self.retired.len() || self.retired[b] {
+            return;
+        }
+        if self.garbage(b) > 0 {
+            self.bucket_remove(self.valid[b], block as u32);
+        }
+        self.retired[b] = true;
+    }
+
+    /// True when `block` sits in the bad-block table.
+    pub fn is_block_retired(&self, block: u64) -> bool {
+        self.retired
+            .get(block as usize)
+            .copied()
+            .unwrap_or_default()
+    }
+
     /// Pages per block the index was built for.
     pub fn pages_per_block(&self) -> u32 {
         self.pages_per_block
@@ -633,6 +668,28 @@ mod tests {
         assert!(idx.take_fully_erased_groups().is_empty());
         idx.on_erase(1);
         assert_eq!(idx.take_fully_erased_groups(), vec![0]);
+    }
+
+    #[test]
+    fn retired_block_leaves_and_never_reenters_victim_selection() {
+        let mut idx = ValidPageIndex::new(2, 8);
+        for _ in 0..2 {
+            idx.on_program(0, 0, 0);
+        }
+        idx.on_invalidate(0, 0); // garbage → block 0 enters the buckets
+        assert_eq!(idx.min_valid_garbage_block(), Some(0));
+        idx.retire_block(0);
+        assert!(idx.is_block_retired(0));
+        assert_eq!(idx.min_valid_garbage_block(), None);
+        // Accumulating more garbage cannot resurrect a retired block.
+        idx.on_invalidate(0, 1);
+        assert_eq!(idx.min_valid_garbage_block(), None);
+        assert_eq!(idx.cost_benefit_victim(1_000), None);
+        // Counters keep tracking it; retirement only hides it from GC.
+        assert_eq!(idx.valid_in(0), 0);
+        assert_eq!(idx.garbage_in(0), 2);
+        idx.retire_block(0); // idempotent
+        assert!(idx.is_block_retired(0));
     }
 
     #[test]

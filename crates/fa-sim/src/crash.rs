@@ -1,0 +1,94 @@
+//! Power-loss scheduling for fault-injection experiments.
+//!
+//! A [`PowerLossClock`] arms a single simulated power-loss instant. The
+//! driver polls it between events; the first poll at or past the armed
+//! instant *trips* the clock — exactly once — and the driver runs its
+//! crash protocol (final supercap-backed journal dump, then recovery by
+//! journal replay). Subsequent polls return `false`, so the protocol
+//! cannot re-fire and the run continues deterministically after recovery.
+
+use crate::time::SimTime;
+
+/// One-shot power-loss trigger.
+///
+/// # Examples
+///
+/// ```
+/// use fa_sim::crash::PowerLossClock;
+/// use fa_sim::time::SimTime;
+///
+/// let mut clock = PowerLossClock::new(Some(SimTime::from_ns(500)));
+/// assert!(!clock.check(SimTime::from_ns(499)));
+/// assert!(clock.check(SimTime::from_ns(500))); // trips exactly once
+/// assert!(!clock.check(SimTime::from_ns(501)));
+/// assert!(clock.tripped());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PowerLossClock {
+    at: Option<SimTime>,
+    tripped: bool,
+}
+
+impl PowerLossClock {
+    /// Arms the clock at `at`; `None` builds a clock that never fires.
+    pub fn new(at: Option<SimTime>) -> Self {
+        PowerLossClock { at, tripped: false }
+    }
+
+    /// A clock that never fires (fault-free runs).
+    pub fn disarmed() -> Self {
+        Self::new(None)
+    }
+
+    /// True when a power-loss instant is armed and has not fired yet.
+    pub fn armed(&self) -> bool {
+        self.at.is_some() && !self.tripped
+    }
+
+    /// The armed instant, if any.
+    pub fn at(&self) -> Option<SimTime> {
+        self.at
+    }
+
+    /// True once the clock has fired.
+    pub fn tripped(&self) -> bool {
+        self.tripped
+    }
+
+    /// Polls the clock at simulated instant `now`. Returns `true` exactly
+    /// once: on the first poll at or past the armed instant.
+    pub fn check(&mut self, now: SimTime) -> bool {
+        match self.at {
+            Some(at) if !self.tripped && now >= at => {
+                self.tripped = true;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_clock_never_fires() {
+        let mut c = PowerLossClock::disarmed();
+        assert!(!c.armed());
+        assert!(!c.check(SimTime::from_ms(1_000)));
+        assert!(!c.tripped());
+    }
+
+    #[test]
+    fn fires_exactly_once_at_or_past_the_armed_instant() {
+        let mut c = PowerLossClock::new(Some(SimTime::from_ns(100)));
+        assert!(c.armed());
+        assert!(!c.check(SimTime::from_ns(99)));
+        assert!(c.check(SimTime::from_ns(250))); // first poll past the mark
+        assert!(!c.check(SimTime::from_ns(251)));
+        assert!(c.tripped());
+        assert!(!c.armed());
+        assert_eq!(c.at(), Some(SimTime::from_ns(100)));
+    }
+}

@@ -11,6 +11,8 @@
 //!   to a user-supplied dispatcher.
 //! * [`deferred`] — time-ordered background work (storage management) that
 //!   drivers merge with their foreground completion streams.
+//! * [`crash`] — a one-shot power-loss trigger drivers poll to run the
+//!   crash/recovery protocol at an arbitrary simulated instant.
 //! * [`stats`] — counters, histograms, busy-time trackers and time series
 //!   used to produce the paper's figures.
 //! * [`resource`] — serialized-bandwidth and FIFO-server resource models
@@ -35,6 +37,7 @@
 //! assert_eq!(ev, "early");
 //! ```
 
+pub mod crash;
 pub mod deferred;
 pub mod engine;
 pub mod event;
@@ -44,6 +47,7 @@ pub mod sharded;
 pub mod stats;
 pub mod time;
 
+pub use crash::PowerLossClock;
 pub use deferred::DeferredWorkQueue;
 pub use engine::{Engine, StepOutcome};
 pub use event::EventQueue;

@@ -17,8 +17,8 @@
 //! (CI runs the release suite with more).
 
 use flashabacus_suite::fa_flash::{
-    FlashBackbone, FlashCommand, FlashGeometry, FlashTiming, OwnerId, PageState, PhysicalPageAddr,
-    QosBudgets,
+    FaultPlan, FlashBackbone, FlashCommand, FlashGeometry, FlashTiming, OwnerId, PageState,
+    PhysicalPageAddr, QosBudgets,
 };
 use flashabacus_suite::fa_platform::mem::Scratchpad;
 use flashabacus_suite::fa_platform::PlatformSpec;
@@ -30,6 +30,7 @@ use flashabacus_suite::flashabacus::storengine::{GcVictimPolicy, Storengine};
 use flashabacus_suite::flashabacus::Flashvisor;
 use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// A deliberately small device (2 channels × 8 blocks × 16 pages, 2-page
 /// groups → 128 groups) so overwrites, GC, and exhaustion all happen
@@ -147,8 +148,12 @@ fn check_invariants(v: &Flashvisor, shadow_overwrites: &[u32]) -> Result<(), Str
 
     // 6. Greedy victim pick matches the brute-force argmin over blocks
     //    with at least one invalid page: fewest valid, smallest index.
+    //    Retired (bad) blocks are permanently outside victim selection.
     let mut expected: Option<(u32, u64)> = None;
     for b in 0..geometry.total_blocks() {
+        if index.is_block_retired(b) {
+            continue;
+        }
         let (ch, die, block) = geometry.block_index_to_addr(b);
         let die_ref = v.backbone().channel(ch).unwrap().die(die).unwrap();
         let mut valid = 0u32;
@@ -186,16 +191,21 @@ fn check_invariants(v: &Flashvisor, shadow_overwrites: &[u32]) -> Result<(), Str
     }
     prop_assert_eq!(v.freespace().row_wear(), row_recount.as_slice());
 
-    // 8. Occupancy gauges: allocated = total − free − reserved, classified
-    //    exactly like the free pool's complement (the hot reserve counts
-    //    as allocated — those groups left the pool).
+    // 8. Occupancy gauges: occupied + free + reserved + retired partitions
+    //    the device, with occupancy classified exactly like the free
+    //    pool's complement (the hot reserve counts as allocated — those
+    //    groups left the pool; retired groups left everything).
     let occupancy = v.placement_occupancy();
     let occupied: u64 = occupancy.iter().sum();
     let reserved = v.freespace().reserved_count();
-    prop_assert_eq!(occupied + v.free_physical_groups() + reserved, total_groups);
+    let retired = v.freespace().retired_count();
+    prop_assert_eq!(
+        occupied + v.free_physical_groups() + reserved + retired,
+        total_groups
+    );
     let mut per_class = vec![0u64; v.freespace().class_count()];
     for g in 0..total_groups {
-        if !free_set.contains(&g) && !v.freespace().is_reserved(g) {
+        if !free_set.contains(&g) && !v.freespace().is_reserved(g) && !v.freespace().is_retired(g) {
             per_class[v.freespace().stripe_class(g)] += 1;
         }
     }
@@ -240,6 +250,7 @@ fn check_invariants(v: &Flashvisor, shadow_overwrites: &[u32]) -> Result<(), Str
         let leaked = unmapped
             && !free_set.contains(&g)
             && !v.freespace().is_reserved(g)
+            && !v.freespace().is_retired(g)
             && !hot_reserve.contains(&g)
             && programmed == 0;
         prop_assert!(
@@ -387,6 +398,156 @@ proptest! {
         // The walk starts on an empty device, so the early writes always
         // land: a silent all-failure walk would test nothing.
         prop_assert!(successes > 0, "no operation ever succeeded");
+    }
+
+    /// The same random walk with an injected fault plan armed: seeded
+    /// probabilistic program/erase failures, remap-on-failure retries
+    /// inside `write_section`, and bad-block row retirement must never
+    /// desynchronize the incremental metadata either. Failed GC passes are
+    /// absorbed the way the system driver absorbs them — retirement
+    /// processing runs and the walk continues — and every invariant
+    /// (including the new occupied + free + reserved + retired partition
+    /// and the no-leak check) holds after every op.
+    #[test]
+    fn fault_injected_walks_preserve_every_invariant(
+        placement_pick in 0usize..3,
+        gc_pick in 0usize..3,
+        steps in 24usize..56,
+        seed in 0u64..u64::MAX,
+    ) {
+        let placement = PlacementPolicy::all()[placement_pick];
+        let gc_victim = GcVictimPolicy::all()[gc_pick];
+        let config = oracle_config(placement, gc_victim, None);
+        let mut v = Flashvisor::new(config);
+        let spec = format!("seed={seed},program=0.01,erase=0.005,retire_after=2");
+        v.install_fault_plan(Arc::new(FaultPlan::parse(&spec).unwrap()));
+        let mut s = Storengine::new(config);
+        let mut sp = Scratchpad::new(&PlatformSpec::paper_prototype());
+        let mut rng = seed;
+        let mut t_us = 1u64;
+        let mut successes = 0usize;
+        let total_groups = config.total_page_groups();
+        let mut shadow = vec![0u32; total_groups as usize];
+
+        check_invariants(&v, &shadow)?;
+        for _ in 0..steps {
+            t_us += 37;
+            let now = SimTime::from_us(t_us);
+            let group_bytes = config.page_group_bytes;
+            match splitmix64(&mut rng) % 8 {
+                0..=4 => {
+                    let lg = splitmix64(&mut rng) % 24;
+                    let groups = 1 + splitmix64(&mut rng) % 4;
+                    let mapped_before: Vec<u64> = (lg..lg + groups)
+                        .filter(|g| v.physical_group_of(*g).is_some())
+                        .collect();
+                    if v.write_section(now, lg * group_bytes, groups * group_bytes, &mut sp).is_ok() {
+                        successes += 1;
+                        for g in mapped_before {
+                            shadow[g as usize] += 1;
+                        }
+                    } else {
+                        for g in lg..lg + groups {
+                            shadow[g as usize] = v.overwrite_count(g);
+                        }
+                    }
+                }
+                5 => {
+                    let _ = s.journal(now, &mut v);
+                }
+                _ => {
+                    let passes = 1 + splitmix64(&mut rng) % 3;
+                    for _ in 0..passes {
+                        let _ = s.collect_garbage(now, &mut v);
+                    }
+                    // Condemned rows drain here, exactly like the system
+                    // driver's background path; a dry allocator legitimately
+                    // leaves rows pending.
+                    let _ = v.process_retirements(now);
+                }
+            }
+            check_invariants(&v, &shadow)?;
+        }
+        prop_assert!(successes > 0, "no operation ever succeeded");
+    }
+
+    /// Crash-recovery oracle: at an arbitrary cut point in a random walk,
+    /// the supercap-backed final journal dump plus `recover()`'s replay
+    /// must reproduce the pre-crash logical→physical mapping exactly,
+    /// leave the reverse index consistent, and rebuild the free pool to
+    /// precisely the unmapped-and-erased groups.
+    #[test]
+    fn journal_replay_reproduces_the_pre_crash_mapping(
+        steps in 8usize..32,
+        seed in 0u64..u64::MAX,
+    ) {
+        let config =
+            oracle_config(PlacementPolicy::FirstFree, GcVictimPolicy::GreedyMinValid, None);
+        let mut v = Flashvisor::new(config);
+        // A fault-free plan still arms redo recording: crash/recovery is
+        // part of the fault model even when no media fault ever fires.
+        v.install_fault_plan(Arc::new(FaultPlan::parse("seed=1").unwrap()));
+        let mut s = Storengine::new(config);
+        let mut sp = Scratchpad::new(&PlatformSpec::paper_prototype());
+        let mut rng = seed;
+        let mut t_us = 1u64;
+        let group_bytes = config.page_group_bytes;
+        for _ in 0..steps {
+            t_us += 37;
+            let now = SimTime::from_us(t_us);
+            match splitmix64(&mut rng) % 8 {
+                0..=5 => {
+                    let lg = splitmix64(&mut rng) % 24;
+                    let groups = 1 + splitmix64(&mut rng) % 4;
+                    let _ =
+                        v.write_section(now, lg * group_bytes, groups * group_bytes, &mut sp);
+                }
+                6 => {
+                    let _ = s.journal(now, &mut v);
+                }
+                _ => {
+                    let _ = s.collect_garbage(now, &mut v);
+                }
+            }
+        }
+        // Power loss: the supercap window persists every commit, then the
+        // restarted device replays the journal.
+        t_us += 37;
+        let pre: BTreeMap<u64, u64> = v.mapped_groups().collect();
+        prop_assert!(s.journal(SimTime::from_us(t_us), &mut v).is_ok());
+        prop_assert_eq!(v.unflushed_redo_records(), 0);
+        v.recover();
+        let post: BTreeMap<u64, u64> = v.mapped_groups().collect();
+        prop_assert_eq!(&pre, &post);
+        for (&lg, &pg) in &post {
+            prop_assert_eq!(v.logical_group_mapped_to(pg), Some(lg));
+        }
+        // The crash touched no media: the valid-page index still mirrors
+        // the dies, and the rebuilt free pool is exactly the unmapped,
+        // fully-erased, unfenced groups.
+        prop_assert_eq!(
+            v.backbone().total_valid_pages(),
+            v.backbone().recount_valid_pages()
+        );
+        let free_set: BTreeSet<u64> = v.freespace().debug_free_groups().into_iter().collect();
+        for g in 0..config.total_page_groups() {
+            let expect_free = v.logical_group_mapped_to(g).is_none()
+                && v.backbone().valid_index().group_programmed_pages(g) == 0
+                && !v.freespace().is_reserved(g)
+                && !v.freespace().is_retired(g);
+            prop_assert!(
+                free_set.contains(&g) == expect_free,
+                "group {} free-pool membership diverged after replay",
+                g
+            );
+        }
+        // And the recovered allocator still serves the data path.
+        t_us += 37;
+        let _ = v.write_section(SimTime::from_us(t_us), 0, group_bytes, &mut sp);
+        prop_assert_eq!(
+            v.backbone().total_valid_pages(),
+            v.backbone().recount_valid_pages()
+        );
     }
 
     /// Randomized *batched* accounting: arbitrary `submit_batch` command

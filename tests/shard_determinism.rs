@@ -8,12 +8,16 @@
 //! serial loop's, for every shard count, including shard counts that do not
 //! divide the channel count.
 //!
-//! This test pins that property end to end: the same small campaign as
+//! This file pins that property end to end: the same small campaign as
 //! `results_golden.rs` is run at `FA_SHARDS` ∈ {1, 2, 4, 7} and every
-//! rendering must match the committed golden bytes. `FA_SHARDS` is set via
-//! the process environment, which is safe here because each integration-test
-//! file is its own process and `run_pairs_with_threads(.., 1)` keeps the
-//! campaign single-threaded while the variable changes.
+//! rendering must match the committed golden bytes. A second test pins the
+//! *fault* interaction: a read-affecting fault plan defeats the sharded
+//! executor's fault-free precheck, so reads take the serial fallback and
+//! the campaign must be byte-identical across shard counts even though it
+//! no longer matches the fault-free golden. `FA_SHARDS`/`FA_FAULTS` are
+//! set via the process environment; the tests serialize on `ENV_LOCK`
+//! (they share one test process) and `run_pairs_with_threads(.., 1)`
+//! keeps each campaign single-threaded while the variables change.
 
 use fa_bench::report::Table;
 use fa_bench::runner::{
@@ -22,6 +26,9 @@ use fa_bench::runner::{
 use fa_kernel::model::Application;
 use fa_workloads::polybench::PolyBench;
 use std::path::PathBuf;
+use std::sync::Mutex;
+
+static ENV_LOCK: Mutex<()> = Mutex::new(());
 
 fn workloads() -> Vec<(String, Vec<Application>)> {
     let scale = ExperimentScale { data_scale: 512 };
@@ -73,6 +80,7 @@ fn golden_path() -> PathBuf {
 
 #[test]
 fn report_is_byte_identical_for_every_shard_count() {
+    let _env = ENV_LOCK.lock().unwrap();
     let golden = std::fs::read_to_string(golden_path())
         .expect("golden file must exist; this test never blesses it");
     let w = workloads();
@@ -87,4 +95,29 @@ fn report_is_byte_identical_for_every_shard_count() {
         );
     }
     std::env::remove_var("FA_SHARDS");
+}
+
+#[test]
+fn fault_plan_serial_fallback_is_shard_count_invariant() {
+    let _env = ENV_LOCK.lock().unwrap();
+    // A read-affecting fault plan (read-disturb retries plus relocation)
+    // makes `read_groups_sharded`'s fault-free precheck miss mid-section,
+    // so every section read falls back to the serial loop. The physics
+    // then differ from the fault-free golden, but they must not depend on
+    // the shard count: the fallback is the same serial code at any
+    // `FA_SHARDS`.
+    std::env::set_var("FA_FAULTS", "seed=11,read_disturb=0.02");
+    let w = workloads();
+    let mut rendered = Vec::new();
+    for shards in [1usize, 4] {
+        std::env::set_var("FA_SHARDS", shards.to_string());
+        rendered.push(render(&run_pairs_with_threads(&w, 1)));
+    }
+    std::env::remove_var("FA_FAULTS");
+    std::env::remove_var("FA_SHARDS");
+    assert_eq!(
+        rendered[0], rendered[1],
+        "a fault-afflicted campaign diverged between FA_SHARDS=1 and \
+         FA_SHARDS=4 — the serial fallback is not shard-count invariant"
+    );
 }
