@@ -4,20 +4,22 @@
 //! ablation (foreground read p99 under concurrent GC, synchronous vs
 //! backgrounded vs budgeted) and the storage-policy ablation (placement ×
 //! GC-victim × hot/cold wear spread and migration efficiency). Written to
-//! `BENCH_PR8.json`, together with the `shard_scaling` section (the
+//! `BENCH_PR9.json`, together with the `shard_scaling` section (the
 //! heterogeneous campaign timed at several `FA_SHARDS` settings, asserted
 //! bit-identical across shard counts, plus the window-barrier cost of the
-//! sharded executor) and the `endurance` section: each placement policy
-//! churned under the identical seeded wear-out fault plan until injected
-//! failures retire enough block rows to kill the device, recording the
-//! host bytes that landed first.
+//! sharded executor), the `write_shard_scaling` section (the same campaign
+//! factor now that program/erase sweeps and GC erase rows ride the sharded
+//! lanes too, plus the multi-window program-sweep micro), and the
+//! `endurance` section: each placement policy churned under the identical
+//! seeded wear-out fault plan until injected failures retire enough block
+//! rows to kill the device, recording the host bytes that landed first.
 //!
 //! The wall-clock sections measure the simulator, not the simulated
 //! hardware; the `qos_ablation`, `policy_ablation`, and `endurance`
 //! sections are simulated time and exactly reproducible. Knobs:
 //! `FA_DATA_SCALE` (workload size divisor), `FA_THREADS` (parallel
 //! campaign width), `FA_BENCH_OUT` (output path, default
-//! `BENCH_PR8.json` in the working directory).
+//! `BENCH_PR9.json` in the working directory).
 //!
 //! Regenerate with:
 //! ```text
@@ -29,9 +31,9 @@ use fa_bench::experiments::fig12_cdf::{gc_pressure_workload, qos_ablation_modes,
 use fa_bench::experiments::policy_ablation::{churn_grid, churn_rounds, hot_cold_on_rows};
 use fa_bench::experiments::Campaign;
 use fa_bench::perf::{
-    group_read_sweep, hot_path_backbone, hot_path_sweep, hot_path_sweep_tagged, naive_ready_first,
-    naive_victim_groups, populated_flashvisor, preloaded_hot_path_backbone, screen_batch,
-    NaiveScanAllocator,
+    group_program_sweep, group_read_sweep, hot_path_backbone, hot_path_sweep,
+    hot_path_sweep_tagged, naive_ready_first, naive_victim_groups, populated_flashvisor,
+    preloaded_hot_path_backbone, screen_batch, NaiveScanAllocator,
 };
 use fa_bench::runner::{campaign_threads, run_pairs_with_threads, ExperimentScale};
 use fa_kernel::chain::ExecutionChain;
@@ -401,6 +403,45 @@ fn main() {
     assert_eq!(serial_end, s1_end, "1-shard sweep diverged from serial");
     assert_eq!(serial_end, s4_end, "4-shard sweep diverged from serial");
 
+    // Window-barrier cost on the *program* path: the serial per-group
+    // `submit_group` loop vs the sharded program lanes under the finite
+    // program-sweep lookahead (each section splits into multiple
+    // conservative windows, unlike the read sweep's one-per-section). A
+    // program sweep fills the device, so each timed iteration starts from
+    // a fresh backbone built outside the timer.
+    let time_program_sweep = |plan: Option<ShardPlan>| {
+        let mut backbone = hot_path_backbone();
+        // Warm pass (first touch of the arenas), then the timed ones.
+        let _ = group_program_sweep(&mut backbone, plan, SimTime::ZERO);
+        let mut commands = 0u64;
+        let mut windows = 0u64;
+        let mut elapsed = 0.0f64;
+        let mut end = SimTime::ZERO;
+        for _ in 0..hot_sweeps {
+            let mut backbone = hot_path_backbone();
+            let start = Instant::now();
+            let (c, _, t) = group_program_sweep(&mut backbone, plan, SimTime::ZERO);
+            elapsed += start.elapsed().as_secs_f64();
+            commands += c;
+            windows += backbone.sharded_windows();
+            end = t;
+        }
+        (commands, windows, elapsed, end)
+    };
+    let (pw_cmds, _, serial_pw_s, serial_pw_end) = time_program_sweep(None);
+    let (pw1_cmds, _, shard1_pw_s, pw1_end) = time_program_sweep(Some(ShardPlan::new(1)));
+    let (pw4_cmds, pw4_windows, shard4_pw_s, pw4_end) = time_program_sweep(Some(ShardPlan::new(4)));
+    assert_eq!(pw_cmds, pw1_cmds);
+    assert_eq!(pw_cmds, pw4_cmds);
+    assert_eq!(
+        serial_pw_end, pw1_end,
+        "1-shard program sweep diverged from serial"
+    );
+    assert_eq!(
+        serial_pw_end, pw4_end,
+        "4-shard program sweep diverged from serial"
+    );
+
     // The QoS ablation (simulated time, deterministic): foreground read
     // p99 under concurrent GC, synchronous vs background vs budgeted.
     let qos_apps = gc_pressure_workload();
@@ -434,7 +475,7 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"pr\": 8,");
+    let _ = writeln!(json, "  \"pr\": 9,");
     let _ = writeln!(json, "  \"data_scale\": {},", scale.data_scale);
     let _ = writeln!(json, "  \"threads\": {threads},");
     json.push_str("  \"campaigns\": [\n");
@@ -559,6 +600,50 @@ fn main() {
         json,
         "      \"barrier_overhead_ns_per_sync\": {:.1}",
         (shard4_sweep_s - serial_sweep_s) * 1e9 / sweep_windows as f64
+    );
+    json.push_str("    }\n");
+    json.push_str("  },\n");
+    // Write-path sharding: the campaign factor above now has program/erase
+    // sweeps and GC erase rows riding the sharded lanes too, so record the
+    // 4-vs-1-shard campaign factor under its own key (the perf gate budgets
+    // it), plus the program-sweep micro — multi-window per section under
+    // the finite lookahead, asserted physics-identical before timing.
+    json.push_str("  \"write_shard_scaling\": {\n");
+    let shard4_seconds = shard_scaling
+        .iter()
+        .find(|&&(s, _)| s == 4)
+        .map(|&(_, t)| t)
+        .expect("shard sweep covers 4 shards");
+    let _ = writeln!(
+        json,
+        "    \"campaign_sharded_4_vs_1_shard_factor\": {:.3},",
+        shard4_seconds / shard1_seconds.max(1e-9)
+    );
+    json.push_str("    \"program_window_sync\": {\n");
+    let _ = writeln!(json, "      \"commands\": {pw_cmds},");
+    let _ = writeln!(json, "      \"syncs\": {pw4_windows},");
+    let _ = writeln!(
+        json,
+        "      \"serial_loop\": {{\"seconds\": {:.4}, \"ns_per_command\": {:.1}}},",
+        serial_pw_s,
+        serial_pw_s * 1e9 / pw_cmds as f64
+    );
+    let _ = writeln!(
+        json,
+        "      \"sharded_1\": {{\"seconds\": {:.4}, \"ns_per_command\": {:.1}}},",
+        shard1_pw_s,
+        shard1_pw_s * 1e9 / pw_cmds as f64
+    );
+    let _ = writeln!(
+        json,
+        "      \"sharded_4\": {{\"seconds\": {:.4}, \"ns_per_command\": {:.1}}},",
+        shard4_pw_s,
+        shard4_pw_s * 1e9 / pw_cmds as f64
+    );
+    let _ = writeln!(
+        json,
+        "      \"barrier_overhead_ns_per_sync\": {:.1}",
+        (shard4_pw_s - serial_pw_s) * 1e9 / pw4_windows.max(1) as f64
     );
     json.push_str("    }\n");
     json.push_str("  },\n");
@@ -723,7 +808,7 @@ fn main() {
     );
     json.push_str("}\n");
 
-    let out_path = std::env::var("FA_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR8.json".to_string());
+    let out_path = std::env::var("FA_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR9.json".to_string());
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     println!("{json}");
     eprintln!("perfstat: wrote {out_path}");

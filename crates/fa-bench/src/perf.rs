@@ -308,6 +308,60 @@ pub fn group_read_sweep(
     (commands, sections, now)
 }
 
+/// One full group-program sweep of a freshly erased device, section by
+/// section ([`SHARDED_SWEEP_SECTION_GROUPS`] groups of
+/// [`SHARDED_SWEEP_GROUP_PAGES`] pages per submission): through the
+/// sharded executor when `plan` is given (serial SRIO pre-pass, per-channel
+/// program lanes under the finite program-sweep lookahead, barrier replay),
+/// through the serial `submit_group` loop otherwise. Groups ascend, so
+/// every program lands on its block's write cursor and the two paths are
+/// exactly equivalent — `perfstat` asserts identical completions on every
+/// run before recording the timing. Returns (commands, sections, completion).
+pub fn group_program_sweep(
+    backbone: &mut FlashBackbone,
+    plan: Option<ShardPlan>,
+    mut now: SimTime,
+) -> (u64, u64, SimTime) {
+    let pages = SHARDED_SWEEP_GROUP_PAGES;
+    let total_groups = backbone.geometry().total_pages() / pages;
+    let mut commands = 0u64;
+    let mut sections = 0u64;
+    let mut g = 0u64;
+    let mut staged: Vec<(SimTime, u64)> = Vec::new();
+    while g < total_groups {
+        let n = SHARDED_SWEEP_SECTION_GROUPS.min(total_groups - g);
+        match plan {
+            Some(p) => {
+                staged.clear();
+                staged.extend((g..g + n).map(|gi| (now, gi * pages)));
+                let batch = backbone.program_groups_sharded(p, &staged, pages, OwnerId::Kernel(0));
+                now = batch.finished;
+                commands += batch.commands;
+            }
+            None => {
+                let mut finished = now;
+                for gi in g..g + n {
+                    let batch = backbone
+                        .submit_group(
+                            now,
+                            gi * pages,
+                            pages,
+                            FlashOp::ProgramPage,
+                            OwnerId::Kernel(0),
+                        )
+                        .expect("sweep program stripe");
+                    finished = finished.max(batch.finished);
+                }
+                now = finished;
+                commands += n * pages;
+            }
+        }
+        sections += 1;
+        g += n;
+    }
+    (commands, sections, now)
+}
+
 /// The same sweep submitted one command at a time through `submit_tagged`
 /// — the pre-batching data path, kept as the baseline the batched
 /// accounting is priced against in `BENCH_PR6.json`.
@@ -392,6 +446,23 @@ mod tests {
             (b.reads, b.programs, b.erases),
             (t.reads, t.programs, t.erases)
         );
+    }
+
+    #[test]
+    fn group_program_sweep_serial_and_sharded_agree() {
+        let mut serial = hot_path_backbone();
+        let (sc, ss, sf) = group_program_sweep(&mut serial, None, SimTime::ZERO);
+        for shards in [1usize, 4] {
+            let mut sharded = hot_path_backbone();
+            let (hc, hs, hf) =
+                group_program_sweep(&mut sharded, Some(ShardPlan::new(shards)), SimTime::ZERO);
+            assert_eq!((sc, ss, sf), (hc, hs, hf), "{shards} shards");
+            assert_eq!(serial.total_valid_pages(), sharded.total_valid_pages());
+            assert_eq!(serial.stats().programs, sharded.stats().programs);
+            // The finite program-sweep lookahead splits each section into
+            // multiple conservative windows.
+            assert!(sharded.sharded_windows() > hs);
+        }
     }
 
     #[test]

@@ -156,6 +156,21 @@ impl FaultPlan {
         self.read_disturb_threshold > 0 || self.scripted.iter().any(|f| f.op == FaultOp::Read)
     }
 
+    /// True when the plan can affect the *write* path (an injected program
+    /// or erase failure, probabilistic or scripted). The translation layer
+    /// and Storengine route program sweeps and GC erase rows through the
+    /// serial loop in that case — the sharded fast path prechecks that no
+    /// command can fault, so a write-faulting plan must take the fallback
+    /// to preserve exact mid-batch error semantics.
+    pub fn affects_writes(&self) -> bool {
+        self.program_threshold > 0
+            || self.erase_threshold > 0
+            || self
+                .scripted
+                .iter()
+                .any(|f| matches!(f.op, FaultOp::Program | FaultOp::Erase))
+    }
+
     /// Parses a plan from the `FA_FAULTS` specification string:
     /// comma-separated `key=value` pairs. Keys: `seed` (u64),
     /// `program`/`erase`/`read_disturb` (probabilities in `[0,1]`),
@@ -173,6 +188,7 @@ impl FaultPlan {
     /// assert_eq!(plan.scripted[0].op, FaultOp::Erase);
     /// assert_eq!(plan.scripted[0].block, 4);
     /// assert!(!plan.affects_reads());
+    /// assert!(plan.affects_writes());
     /// ```
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::default();

@@ -19,12 +19,21 @@
 //! (they share one test process) and `run_pairs_with_threads(.., 1)`
 //! keeps each campaign single-threaded while the variables change.
 
+use fa_bench::perf::{group_program_sweep, hot_path_backbone};
 use fa_bench::report::Table;
 use fa_bench::runner::{
     homogeneous_workload, run_pairs_with_threads, ExperimentScale, UnifiedOutcome,
 };
 use fa_kernel::model::Application;
+use fa_platform::mem::Scratchpad;
+use fa_platform::PlatformSpec;
+use fa_sim::sharded::ShardPlan;
+use fa_sim::time::SimTime;
 use fa_workloads::polybench::PolyBench;
+use flashabacus::config::FlashAbacusConfig;
+use flashabacus::scheduler::SchedulerPolicy;
+use flashabacus::storengine::Storengine;
+use flashabacus::Flashvisor;
 use std::path::PathBuf;
 use std::sync::Mutex;
 
@@ -95,6 +104,153 @@ fn report_is_byte_identical_for_every_shard_count() {
         );
     }
     std::env::remove_var("FA_SHARDS");
+}
+
+/// One churn round on a small device, driven straight through Flashvisor
+/// and Storengine: repeated overwrites of a narrow logical window (with
+/// hot/cold separation live) interleaved with GC passes whenever the
+/// allocator runs low. Every mutation rides the sharded write path —
+/// placement forecast, program lanes, sharded GC erase rows — and the
+/// digest captures every completion instant plus the full bookkeeping
+/// totals, so a single reordered effect diverges the bytes.
+fn churn_digest(shards: usize) -> String {
+    let mut config = FlashAbacusConfig::tiny_for_tests(SchedulerPolicy::IntraO3);
+    config.gc_low_watermark = 0.88;
+    config.hot_overwrite_threshold = Some(3);
+    let mut v = Flashvisor::new(config);
+    v.set_shard_plan(ShardPlan::new(shards));
+    let mut s = Storengine::new(config);
+    let mut sp = Scratchpad::new(&PlatformSpec::paper_prototype());
+    let group_bytes = config.page_group_bytes;
+    let mut now_us = 1u64;
+    let mut digest = String::new();
+    let mut batches = 0u64;
+    for round in 0..300u64 {
+        let lg = round % 14;
+        let groups = 1 + round % 3;
+        now_us += 53;
+        let c = v
+            .write_section(
+                SimTime::from_us(now_us),
+                lg * group_bytes,
+                groups * group_bytes,
+                &mut sp,
+            )
+            .unwrap_or_else(|e| panic!("churn write round {round}: {e:?}"));
+        digest.push_str(&format!("w {lg} {groups} {}\n", c.finished.as_ns()));
+        batches += 1;
+        while s.gc_needed(&v) {
+            now_us += 211;
+            let out = s
+                .collect_garbage(SimTime::from_us(now_us), &mut v)
+                .expect("churn gc");
+            batches += 1;
+            digest.push_str(&format!(
+                "gc {} {} {}\n",
+                out.groups_reclaimed,
+                out.pages_migrated,
+                out.finished.as_ns()
+            ));
+        }
+    }
+    let fv = v.stats();
+    let se = s.stats();
+    // The churn must actually exercise the sharded write/GC machinery:
+    // no write section or erase row may have slipped onto the serial
+    // fallback, GC must have erased rows, and the finite lookahead must
+    // have split batches into multiple conservative windows.
+    assert_eq!(
+        fv.sharded_write_fallbacks, 0,
+        "{shards} shards: churn fell off the sharded write path"
+    );
+    assert!(se.erases > 0, "{shards} shards: churn never erased a row");
+    assert!(
+        v.backbone().sharded_windows() > batches,
+        "{shards} shards: no batch ever needed more than one window \
+         ({} windows over {batches} batches)",
+        v.backbone().sharded_windows()
+    );
+    digest.push_str(&format!(
+        "stats {} {} {} {} {} {} {} {} {} {}\n",
+        fv.group_writes,
+        fv.overwritten_groups,
+        fv.hot_group_writes,
+        fv.cold_group_writes,
+        fv.hot_steered_writes,
+        fv.sharded_write_fallbacks,
+        se.erases,
+        se.groups_reclaimed,
+        se.pages_migrated,
+        v.backbone().sharded_windows()
+    ));
+    digest.push_str(&format!(
+        "valid {} free {}\n",
+        v.backbone().total_valid_pages(),
+        v.free_physical_groups()
+    ));
+    digest
+}
+
+#[test]
+fn churn_round_is_byte_identical_for_every_shard_count() {
+    let baseline = churn_digest(1);
+    for shards in [2usize, 4, 7] {
+        assert_eq!(
+            churn_digest(shards),
+            baseline,
+            "FA_SHARDS={shards}: a churn round diverged from the 1-shard \
+             digest — the sharded write/GC path is not replaying effects in \
+             serial submission order"
+        );
+    }
+}
+
+/// The finite program-sweep lookahead splits a section's program lanes
+/// into many conservative windows; a `SimDuration::MAX` lookahead runs the
+/// same events in a single window. Both must produce identical physics —
+/// the window count is pure synchronization structure.
+#[test]
+fn program_sweep_multi_window_equals_one_window() {
+    use fa_flash::OwnerId;
+    use fa_sim::time::SimDuration;
+
+    let pages = fa_bench::perf::SHARDED_SWEEP_GROUP_PAGES;
+    let groups: Vec<(SimTime, u64)> = (0..96u64)
+        .map(|g| (SimTime::from_ns(1_000 + g * 700), g * pages))
+        .collect();
+    let mut one = hot_path_backbone();
+    let lookahead = one.program_sweep_lookahead();
+    let plan = ShardPlan::new(4);
+    let single = one.program_groups_sharded_with_lookahead(
+        plan,
+        &groups,
+        pages,
+        OwnerId::Kernel(0),
+        SimDuration::MAX,
+    );
+    let mut multi = hot_path_backbone();
+    let windowed = multi.program_groups_sharded_with_lookahead(
+        plan,
+        &groups,
+        pages,
+        OwnerId::Kernel(0),
+        lookahead,
+    );
+    assert_eq!(one.sharded_windows(), 1);
+    assert!(multi.sharded_windows() > 1);
+    assert_eq!(single.finished, windowed.finished);
+    assert_eq!(single.commands, windowed.commands);
+    assert_eq!(one.total_valid_pages(), multi.total_valid_pages());
+    assert_eq!(one.stats().programs, multi.stats().programs);
+
+    // And the sweep helper agrees with the serial loop end to end while
+    // completing more windows than sections.
+    let mut serial = hot_path_backbone();
+    let mut sharded = hot_path_backbone();
+    let s = group_program_sweep(&mut serial, None, SimTime::ZERO);
+    let h = group_program_sweep(&mut sharded, Some(plan), SimTime::ZERO);
+    assert_eq!(s, h);
+    assert!(sharded.sharded_windows() > h.1);
 }
 
 #[test]
