@@ -42,6 +42,62 @@ impl QosConfig {
     }
 }
 
+/// The online QoS governor's knobs: how often budgets are recomputed and
+/// the range they move in.
+///
+/// Every `window`, the governor diffs each active tenant's flash command
+/// count (from [`fa_flash::FlashBackbone::owner_stats`]) against the
+/// previous tick and installs per-owner tag-budget overrides: the heaviest
+/// tenant of the window is squeezed to `min_budget`, an idle tenant gets
+/// `max_budget`, and everyone else interpolates linearly. This replaces the
+/// static [`QosConfig`] per-owner budget for tenants while they run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GovernorConfig {
+    /// Sliding-window length between budget recomputations.
+    pub window: SimDuration,
+    /// Budget handed to the window's heaviest tenant.
+    pub min_budget: usize,
+    /// Budget handed to an idle tenant (and the cap for everyone).
+    pub max_budget: usize,
+}
+
+impl Default for GovernorConfig {
+    fn default() -> Self {
+        GovernorConfig {
+            window: SimDuration::from_ms(5),
+            min_budget: 1,
+            max_budget: 8,
+        }
+    }
+}
+
+/// Configuration of the open-loop multi-tenant traffic engine: how many
+/// tenants may run at once, how deep the admission queue is, and whether
+/// the online QoS governor retunes per-tenant budgets while they run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScaleoutConfig {
+    /// Maximum tenants in flight; arrivals beyond it queue or shed. Also
+    /// the number of flash slots the engine carves out, so it bounds the
+    /// campaign's logical footprint.
+    pub max_in_flight: usize,
+    /// Maximum queued (admitted-later) tenants; arrivals past a full queue
+    /// are shed.
+    pub queue_limit: usize,
+    /// Online QoS governor; `None` leaves the static [`QosConfig`] budgets
+    /// in force for the whole campaign.
+    pub governor: Option<GovernorConfig>,
+}
+
+impl Default for ScaleoutConfig {
+    fn default() -> Self {
+        ScaleoutConfig {
+            max_in_flight: 6,
+            queue_limit: 64,
+            governor: None,
+        }
+    }
+}
+
 /// Full configuration of a simulated FlashAbacus accelerator.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FlashAbacusConfig {

@@ -22,6 +22,10 @@
 //! * [`system`] — the full-device simulation driver: kernel offload over
 //!   PCIe, the PSC boot protocol, scheduling, data staging through
 //!   Flashvisor, energy accounting, and metric extraction.
+//! * [`openloop`] — open-loop multi-tenant traffic: seeded arrivals
+//!   (`FA_ARRIVALS`), admission control with queueing and shedding, and
+//!   the online QoS governor that retunes per-tenant flash tag budgets
+//!   from a sliding window over the owner statistics.
 //! * [`metrics`] — the result types every experiment and figure consumes.
 //! * [`config`] — configuration of the whole accelerator.
 //!
@@ -59,16 +63,21 @@ pub mod error;
 pub mod flashvisor;
 pub mod freespace;
 pub mod metrics;
+pub mod openloop;
 pub mod rangelock;
 pub mod scheduler;
 pub mod storengine;
 pub mod system;
 
-pub use config::{FlashAbacusConfig, QosConfig};
+pub use config::{FlashAbacusConfig, GovernorConfig, QosConfig, ScaleoutConfig};
 pub use error::FaError;
 pub use flashvisor::Flashvisor;
 pub use freespace::{FreeSpaceManager, PlacementPolicy};
 pub use metrics::{EnergySummary, KernelLatency, OwnerFlashStats, RunOutcome};
+pub use openloop::{
+    AdmissionController, AdmissionDecision, AdmissionRecord, OpenLoopReport, QosGovernor,
+    TenantOutcome,
+};
 pub use rangelock::{LockMode, RangeLockTable};
 pub use scheduler::SchedulerPolicy;
 pub use storengine::{GcPlan, GcVictimPolicy, Storengine};

@@ -151,6 +151,29 @@ pub struct RunOutcome {
     /// byte-compared reports; a churn round under a finite lookahead
     /// completes more than one window per batch.
     pub sharded_windows: u64,
+    /// Open-loop campaigns only: tenants the arrival process injected.
+    /// Zero for closed-loop batch runs.
+    pub tenants_arrived: u64,
+    /// Tenants admitted straight into a free slot at arrival.
+    pub tenants_admitted: u64,
+    /// Tenants parked in the admission queue at arrival (admitted later,
+    /// in arrival order, as slots freed).
+    pub tenants_queued: u64,
+    /// Tenants shed because both the slots and the queue were full.
+    pub tenants_shed: u64,
+    /// Median tenant sojourn (arrival to completion, queueing included),
+    /// seconds; zero when no tenant completed.
+    pub tenant_sojourn_p50_s: f64,
+    /// 99th-percentile tenant sojourn, seconds.
+    pub tenant_sojourn_p99_s: f64,
+    /// 99.9th-percentile tenant sojourn, seconds.
+    pub tenant_sojourn_p999_s: f64,
+    /// Jain's fairness index over completed tenants' flash bytes moved
+    /// (1.0 = perfectly even service, → 1/n under starvation); zero when
+    /// no tenant completed.
+    pub tenant_fairness_index: f64,
+    /// Budget-recomputation ticks the online QoS governor executed.
+    pub governor_updates: u64,
 }
 
 impl RunOutcome {
@@ -272,6 +295,15 @@ mod tests {
             sharded_read_fallbacks: 0,
             sharded_write_fallbacks: 0,
             sharded_windows: 0,
+            tenants_arrived: 0,
+            tenants_admitted: 0,
+            tenants_queued: 0,
+            tenants_shed: 0,
+            tenant_sojourn_p50_s: 0.0,
+            tenant_sojourn_p99_s: 0.0,
+            tenant_sojourn_p999_s: 0.0,
+            tenant_fairness_index: 0.0,
+            governor_updates: 0,
         }
     }
 

@@ -42,7 +42,7 @@ use std::sync::Arc;
 
 /// An injected media failure is an event the storage stack absorbs
 /// (remap, retire, retry) — never a reason to abort the run.
-fn is_injected_fault(e: &FaError) -> bool {
+pub(crate) fn is_injected_fault(e: &FaError) -> bool {
     matches!(
         e,
         FaError::Flash(FlashError::InjectedProgramFailure(_) | FlashError::InjectedEraseFailure(_))
@@ -53,7 +53,7 @@ fn is_injected_fault(e: &FaError) -> bool {
 /// contend with foreground traffic instead of executing instantaneously at
 /// the flush instant (`qos.background_gc`).
 #[derive(Debug, Clone)]
-enum StorageTask {
+pub(crate) enum StorageTask {
     /// Start a new Storengine reclamation pass. `remaining` bounds the
     /// campaign the triggering flush started, mirroring the synchronous
     /// guard of [`FlashAbacusSystem::run_background_storage`].
@@ -73,11 +73,11 @@ enum StorageTask {
 /// Per-screen placement of a kernel's data section: which slice of the
 /// section each screen reads and writes.
 #[derive(Debug, Clone, Copy)]
-struct ScreenSlice {
-    input_start: u64,
-    input_len: u64,
-    output_start: u64,
-    output_len: u64,
+pub(crate) struct ScreenSlice {
+    pub(crate) input_start: u64,
+    pub(crate) input_len: u64,
+    pub(crate) output_start: u64,
+    pub(crate) output_len: u64,
 }
 
 /// A pending screen completion in the dispatch loop.
@@ -106,10 +106,10 @@ impl PartialOrd for Completion {
 
 /// A record of one compute interval, kept to rebuild the FU timeline.
 #[derive(Debug, Clone, Copy)]
-struct ComputeInterval {
-    start: SimTime,
-    end: SimTime,
-    busy_fus: f64,
+pub(crate) struct ComputeInterval {
+    pub(crate) start: SimTime,
+    pub(crate) end: SimTime,
+    pub(crate) busy_fus: f64,
 }
 
 /// Maximum screens in flight per worker: one executing plus one whose input
@@ -134,18 +134,18 @@ struct WorkerState {
 /// The simulated FlashAbacus accelerator.
 pub struct FlashAbacusSystem {
     config: FlashAbacusConfig,
-    flashvisor: Flashvisor,
-    storengine: Storengine,
-    workers: Vec<LwpCore>,
+    pub(crate) flashvisor: Flashvisor,
+    pub(crate) storengine: Storengine,
+    pub(crate) workers: Vec<LwpCore>,
     memory: MemorySystem,
     pcie: PcieLink,
     tier1: Crossbar,
-    msgq: MessageQueue,
-    energy: EnergyAccountant,
-    compute_intervals: Vec<ComputeInterval>,
+    pub(crate) msgq: MessageQueue,
+    pub(crate) energy: EnergyAccountant,
+    pub(crate) compute_intervals: Vec<ComputeInterval>,
     gc_passes: u64,
     /// Deferred storage-management events (background-GC mode only).
-    background: DeferredWorkQueue<StorageTask>,
+    pub(crate) background: DeferredWorkQueue<StorageTask>,
     /// A background GC campaign is in flight: the watermark check at flush
     /// time must not start a second one.
     gc_campaign_active: bool,
@@ -339,7 +339,7 @@ impl FlashAbacusSystem {
 
     /// Reads a screen's input slice from flash into DDR3L and returns when
     /// the data is ready for the LWP.
-    fn stage_input(
+    pub(crate) fn stage_input(
         &mut self,
         now: SimTime,
         flash_base: u64,
@@ -368,7 +368,7 @@ impl FlashAbacusSystem {
     /// (the prototype default) the caller does not wait for the returned
     /// completion; the flash programs still happen (and are charged) in the
     /// background.
-    fn flush_output(
+    pub(crate) fn flush_output(
         &mut self,
         now: SimTime,
         flash_base: u64,
@@ -491,7 +491,11 @@ impl FlashAbacusSystem {
     /// the interrupted campaign ends (its plan may reference blocks the
     /// failure condemned), the bad blocks are retired, and the next flush
     /// re-evaluates the watermark to start a fresh campaign.
-    fn run_storage_task_tolerant(&mut self, at: SimTime, task: StorageTask) -> Result<(), FaError> {
+    pub(crate) fn run_storage_task_tolerant(
+        &mut self,
+        at: SimTime,
+        task: StorageTask,
+    ) -> Result<(), FaError> {
         match self.run_storage_task(at, task) {
             Ok(()) => Ok(()),
             Err(e) if is_injected_fault(&e) => {
@@ -509,7 +513,7 @@ impl FlashAbacusSystem {
     /// lost (pending background campaigns die with the power), and the
     /// mapping is rebuilt by journal replay before the run continues — the
     /// restart-after-power-loss experiment inside one simulated timeline.
-    fn maybe_power_loss(&mut self, now: SimTime) -> Result<(), FaError> {
+    pub(crate) fn maybe_power_loss(&mut self, now: SimTime) -> Result<(), FaError> {
         if !self.power_loss.check(now) {
             return Ok(());
         }
@@ -918,7 +922,20 @@ impl FlashAbacusSystem {
             }
         }
         let bytes_processed: u64 = apps.iter().map(Application::flash_bytes).sum();
+        self.collect_common_outcome(finished_at, kernel_latencies, bytes_processed)
+    }
 
+    /// The workload-independent tail of outcome collection: charges the
+    /// run's device-active and storage-stack energy, builds the timelines,
+    /// and projects the per-owner flash statistics. Shared by the
+    /// closed-loop batch driver and the open-loop traffic engine
+    /// (`openloop.rs`), which overrides the tenant fields afterwards.
+    pub(crate) fn collect_common_outcome(
+        &mut self,
+        finished_at: SimTime,
+        kernel_latencies: Vec<KernelLatency>,
+        bytes_processed: u64,
+    ) -> RunOutcome {
         // Device-active energy of the flash backbone and DDR3L, charged
         // proportionally to their measured activity over the run.
         let flash_activity = self.flashvisor.backbone().activity_factor(finished_at);
@@ -1044,6 +1061,15 @@ impl FlashAbacusSystem {
             sharded_read_fallbacks: fv_stats.sharded_read_fallbacks,
             sharded_write_fallbacks: fv_stats.sharded_write_fallbacks,
             sharded_windows: self.flashvisor.backbone().sharded_windows(),
+            tenants_arrived: 0,
+            tenants_admitted: 0,
+            tenants_queued: 0,
+            tenants_shed: 0,
+            tenant_sojourn_p50_s: 0.0,
+            tenant_sojourn_p99_s: 0.0,
+            tenant_sojourn_p999_s: 0.0,
+            tenant_fairness_index: 0.0,
+            governor_updates: 0,
         }
     }
 }

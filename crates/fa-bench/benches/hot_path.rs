@@ -6,7 +6,7 @@
 //! the serial section loop against the channel-sharded dispatcher (1 shard
 //! and 4 shards); the group-program sweep does the same for the write path
 //! (serial SRIO pre-pass + per-channel program lanes under the finite
-//! lookahead); `perfstat` records the same numbers into `BENCH_PR9.json`.
+//! lookahead); `perfstat` records the same numbers into `BENCH_PR10.json`.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use fa_bench::perf::{

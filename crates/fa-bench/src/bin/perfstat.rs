@@ -4,22 +4,26 @@
 //! ablation (foreground read p99 under concurrent GC, synchronous vs
 //! backgrounded vs budgeted) and the storage-policy ablation (placement ×
 //! GC-victim × hot/cold wear spread and migration efficiency). Written to
-//! `BENCH_PR9.json`, together with the `shard_scaling` section (the
+//! `BENCH_PR10.json`, together with the `shard_scaling` section (the
 //! heterogeneous campaign timed at several `FA_SHARDS` settings, asserted
 //! bit-identical across shard counts, plus the window-barrier cost of the
 //! sharded executor), the `write_shard_scaling` section (the same campaign
 //! factor now that program/erase sweeps and GC erase rows ride the sharded
-//! lanes too, plus the multi-window program-sweep micro), and the
+//! lanes too, plus the multi-window program-sweep micro), the
 //! `endurance` section: each placement policy churned under the identical
 //! seeded wear-out fault plan until injected failures retire enough block
-//! rows to kill the device, recording the host bytes that landed first.
+//! rows to kill the device, recording the host bytes that landed first,
+//! and the `scaleout` section: the open-loop multi-tenant capacity curve
+//! (offered load vs completed-tenant throughput and tail-SLO attainment)
+//! plus the online-QoS-governor vs static-budget ablation at the deepest
+//! overload point.
 //!
 //! The wall-clock sections measure the simulator, not the simulated
 //! hardware; the `qos_ablation`, `policy_ablation`, and `endurance`
 //! sections are simulated time and exactly reproducible. Knobs:
 //! `FA_DATA_SCALE` (workload size divisor), `FA_THREADS` (parallel
 //! campaign width), `FA_BENCH_OUT` (output path, default
-//! `BENCH_PR9.json` in the working directory).
+//! `BENCH_PR10.json` in the working directory).
 //!
 //! Regenerate with:
 //! ```text
@@ -29,6 +33,7 @@
 use fa_bench::experiments::endurance::endurance_grid;
 use fa_bench::experiments::fig12_cdf::{gc_pressure_workload, qos_ablation_modes, run_qos_mode};
 use fa_bench::experiments::policy_ablation::{churn_grid, churn_rounds, hot_cold_on_rows};
+use fa_bench::experiments::scaleout::{scaleout_report, ScaleoutStat};
 use fa_bench::experiments::Campaign;
 use fa_bench::perf::{
     group_program_sweep, group_read_sweep, hot_path_backbone, hot_path_sweep,
@@ -473,9 +478,16 @@ fn main() {
     // the bad-block remap table strangles the allocator.
     let endurance = endurance_grid();
 
+    // Open-loop scale-out (simulated, deterministic): the multi-tenant
+    // capacity curve plus the governor ablation. The wall-clock of the
+    // whole experiment is what the perf gate budgets.
+    let start = Instant::now();
+    let scaleout = scaleout_report(scale);
+    let scaleout_seconds = start.elapsed().as_secs_f64();
+
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"pr\": 9,");
+    let _ = writeln!(json, "  \"pr\": 10,");
     let _ = writeln!(json, "  \"data_scale\": {},", scale.data_scale);
     let _ = writeln!(json, "  \"threads\": {threads},");
     json.push_str("  \"campaigns\": [\n");
@@ -766,6 +778,74 @@ fn main() {
         json.push_str(if i + 1 < endurance.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n");
+    // Open-loop scale-out: the capacity curve (offered load vs completed
+    // throughput and tail-SLO attainment) and the governor-vs-static
+    // ablation at the deepest overload point — all simulated time, plus
+    // the harness wall-clock the perf gate budgets.
+    let stat_json = |s: &ScaleoutStat| {
+        format!(
+            "{{\"rate_multiplier\": {:.2}, \"rate_per_s\": {:.1}, \"arrived\": {}, \
+             \"admitted\": {}, \"queued\": {}, \"shed\": {}, \"completed\": {}, \
+             \"completed_tenants_per_s\": {:.1}, \"slo_attainment\": {:.4}, \
+             \"sojourn_p50_ms\": {:.4}, \"sojourn_p99_ms\": {:.4}, \"sojourn_p999_ms\": {:.4}, \
+             \"fairness\": {:.4}, \"governor_updates\": {}}}",
+            s.rate_multiplier,
+            s.rate_per_s,
+            s.arrived,
+            s.admitted,
+            s.queued,
+            s.shed,
+            s.completed,
+            s.completed_tenants_per_s,
+            s.slo_attainment,
+            s.sojourn_p50_s * 1e3,
+            s.sojourn_p99_s * 1e3,
+            s.sojourn_p999_s * 1e3,
+            s.fairness,
+            s.governor_updates
+        )
+    };
+    json.push_str("  \"scaleout\": {\n");
+    let _ = writeln!(json, "    \"tenants_per_campaign\": {},", scaleout.tenants);
+    let _ = writeln!(
+        json,
+        "    \"measured_capacity_tenants_per_s\": {:.1},",
+        scaleout.base_rate_per_s
+    );
+    let _ = writeln!(
+        json,
+        "    \"tail_slo_ms\": {:.4},",
+        scaleout.slo_limit_s * 1e3
+    );
+    json.push_str("    \"capacity_curve\": [\n");
+    for (i, s) in scaleout.curve.iter().enumerate() {
+        let _ = write!(json, "      {}", stat_json(s));
+        json.push_str(if i + 1 < scaleout.curve.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("    ],\n");
+    json.push_str("    \"governor_ablation\": {\n");
+    let _ = writeln!(
+        json,
+        "      \"rate_per_s\": {:.1},",
+        scaleout.ablation.rate_per_s
+    );
+    let _ = writeln!(
+        json,
+        "      \"governed\": {},",
+        stat_json(&scaleout.ablation.governed)
+    );
+    let _ = writeln!(
+        json,
+        "      \"static_budgets\": {}",
+        stat_json(&scaleout.ablation.static_budgets)
+    );
+    json.push_str("    },\n");
+    let _ = writeln!(json, "    \"scaleout_seconds\": {scaleout_seconds:.4}");
+    json.push_str("  },\n");
     // Headline ratios: how much LeastWorn narrows the erase spread vs
     // FirstFree (same greedy victims), and how much the smartest victim
     // policy cuts migrated-bytes-per-reclaimed-byte vs round-robin.
@@ -808,7 +888,7 @@ fn main() {
     );
     json.push_str("}\n");
 
-    let out_path = std::env::var("FA_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR9.json".to_string());
+    let out_path = std::env::var("FA_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR10.json".to_string());
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     println!("{json}");
     eprintln!("perfstat: wrote {out_path}");

@@ -16,6 +16,7 @@ pub mod fig15_timeline;
 pub mod fig16_bigdata;
 pub mod fig3_motivation;
 pub mod policy_ablation;
+pub mod scaleout;
 pub mod tables;
 
 pub use campaign::Campaign;

@@ -301,6 +301,16 @@ impl FlashBackbone {
         }
     }
 
+    /// Installs (or clears, with `None`) a per-owner tag-budget override on
+    /// every channel. Overrides replace the static [`QosBudgets`] grant for
+    /// that owner only; the online QoS governor uses this to retune budgets
+    /// mid-run from a sliding window over [`FlashBackbone::owner_stats`].
+    pub fn set_owner_budget_override(&mut self, owner: OwnerId, budget: Option<usize>) {
+        for channel in &mut self.channels {
+            channel.set_owner_budget_override(owner, budget);
+        }
+    }
+
     /// Enables page-group accounting in the valid-page index: `pages_per_
     /// group` consecutive flat pages form one allocation group, and erases
     /// report the groups whose last programmed page they cleared (see

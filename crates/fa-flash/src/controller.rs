@@ -60,6 +60,11 @@ pub struct ChannelController {
     /// Per-owner outstanding-command budgets; unlimited by default, which
     /// reproduces the untagged FIFO admission exactly.
     budgets: QosBudgets,
+    /// Per-owner budget *overrides* (dense owner index), installed by the
+    /// online QoS governor: `Some(b)` replaces whatever `budgets` would
+    /// grant that owner. Empty by default, so static-budget admission is
+    /// reproduced byte for byte until a governor writes its first budget.
+    owner_budget_overrides: Vec<Option<usize>>,
     /// Completion time and dense owner index (see [`OwnerId::dense_index`])
     /// of each in-flight command in submission order. Because the
     /// controller serializes each phase of a command on FIFO resources,
@@ -113,6 +118,7 @@ impl ChannelController {
             page_xfer: timing.page_transfer(geometry.page_bytes),
             inbound_tags,
             budgets: QosBudgets::unlimited(),
+            owner_budget_overrides: Vec::new(),
             outstanding: VecDeque::new(),
             owner_outstanding: Vec::new(),
             owner_peaks: Vec::new(),
@@ -145,6 +151,29 @@ impl ChannelController {
     /// The per-owner tag budgets in force.
     pub fn qos_budgets(&self) -> QosBudgets {
         self.budgets
+    }
+
+    /// Installs (or clears, with `None`) a per-owner budget override. An
+    /// installed override replaces the static [`QosBudgets`] grant for that
+    /// owner only — the online QoS governor recomputes these from a sliding
+    /// window over the owner statistics.
+    pub fn set_owner_budget_override(&mut self, owner: OwnerId, budget: Option<usize>) {
+        let oi = owner.dense_index();
+        if oi >= self.owner_budget_overrides.len() {
+            if budget.is_none() {
+                return;
+            }
+            self.owner_budget_overrides.resize(oi + 1, None);
+        }
+        self.owner_budget_overrides[oi] = budget;
+    }
+
+    /// The budget override in force for `owner`, if any.
+    pub fn owner_budget_override(&self, owner: OwnerId) -> Option<usize> {
+        self.owner_budget_overrides
+            .get(owner.dense_index())
+            .copied()
+            .flatten()
     }
 
     /// Peak simultaneous tag-queue occupancy each owner reached. Owners
@@ -251,7 +280,13 @@ impl ChannelController {
         // deque thousands of entries deep, and counts the exact same
         // suffix.
         let owner_queue = &self.owner_outstanding[oi];
-        if let Some(budget) = self.budgets.budget_for(owner) {
+        let effective_budget = self
+            .owner_budget_overrides
+            .get(oi)
+            .copied()
+            .flatten()
+            .or_else(|| self.budgets.budget_for(owner));
+        if let Some(budget) = effective_budget {
             let budget = budget.max(1);
             let mut in_flight = 0usize;
             for &t in owner_queue.iter().rev() {
@@ -643,6 +678,56 @@ mod tests {
         // The queue itself never saw more than the owner's budget in
         // flight either — the other two tags stayed free for other owners.
         assert!(c.stats().peak_inbound_tags <= 2);
+    }
+
+    #[test]
+    fn owner_budget_override_replaces_the_static_grant() {
+        // Static budget 3, override 1: the override wins and the owner is
+        // serialized to one tag. Clearing the override restores the static
+        // grant for subsequent traffic.
+        let geom = FlashGeometry::tiny_for_tests();
+        let timing = FlashTiming::fast_for_tests();
+        let mut c = ChannelController::new(0, &geom, timing, 1_000, 4);
+        c.set_qos_budgets(QosBudgets {
+            per_owner: Some(3),
+            background: Some(3),
+        });
+        let hog = OwnerId::Kernel(1);
+        c.set_owner_budget_override(hog, Some(1));
+        assert_eq!(c.owner_budget_override(hog), Some(1));
+        let mut last = SimTime::ZERO;
+        for p in 0..6 {
+            last = c
+                .execute(
+                    SimTime::ZERO,
+                    ChannelOp::Program,
+                    PhysicalPageAddr::new(0, 0, 0, p),
+                    hog,
+                    None,
+                )
+                .unwrap();
+        }
+        assert_eq!(c.owner_peak_tags()[&hog], 1, "override must serialize");
+        // A fresh owner under the same static budget runs 3 wide.
+        let peer = OwnerId::Kernel(2);
+        for p in 6..12 {
+            c.execute(
+                last,
+                ChannelOp::Program,
+                PhysicalPageAddr::new(0, 0, 0, p),
+                peer,
+                None,
+            )
+            .unwrap();
+        }
+        assert_eq!(c.owner_peak_tags()[&peer], 3);
+        // Clearing the override falls back to the static grant.
+        c.set_owner_budget_override(hog, None);
+        assert_eq!(c.owner_budget_override(hog), None);
+        // Clearing an owner that never had an override is a no-op and must
+        // not grow the override table.
+        c.set_owner_budget_override(OwnerId::Kernel(999), None);
+        assert_eq!(c.owner_budget_override(OwnerId::Kernel(999)), None);
     }
 
     #[test]

@@ -5,6 +5,9 @@
 //! state machines advanced by a discrete-event loop. This crate provides the
 //! shared building blocks:
 //!
+//! * [`arrivals`] — seeded open-loop arrival processes (`FA_ARRIVALS`):
+//!   Poisson and bursty on/off tenant-arrival schedules precomputed from
+//!   one seed, so open-loop campaigns replay byte for byte.
 //! * [`time`] — nanosecond-resolution simulated time and durations.
 //! * [`event`] — a generic, deterministic event queue.
 //! * [`engine`] — a small driver that repeatedly pops events and hands them
@@ -37,6 +40,7 @@
 //! assert_eq!(ev, "early");
 //! ```
 
+pub mod arrivals;
 pub mod crash;
 pub mod deferred;
 pub mod engine;
@@ -47,6 +51,7 @@ pub mod sharded;
 pub mod stats;
 pub mod time;
 
+pub use arrivals::{Arrival, ArrivalPlan, ArrivalShape};
 pub use crash::PowerLossClock;
 pub use deferred::DeferredWorkQueue;
 pub use engine::{Engine, StepOutcome};

@@ -21,8 +21,10 @@ pub mod bigdata;
 pub mod mixes;
 pub mod polybench;
 pub mod synthetic;
+pub mod tenants;
 
 pub use bigdata::{bigdata_app, bigdata_names, BigDataBench};
 pub use mixes::{mix_apps, mix_composition, mix_names};
 pub use polybench::{polybench_app, polybench_names, polybench_table2, PolyBench, Table2Row};
 pub use synthetic::{synthetic_app, SyntheticSpec};
+pub use tenants::{tenant_names, tenant_specs, tenant_templates};

@@ -1,0 +1,132 @@
+//! Tenant templates for the open-loop scale-out campaigns.
+//!
+//! The multi-tenant traffic engine (`flashabacus::openloop`) instantiates
+//! one application per arriving tenant from a small pool of templates. This
+//! module provides the three canonical shapes the scale-out experiments
+//! cycle through — a read-heavy scan, a compute-heavy kernel, and a
+//! write-heavy producer — sized so a 1000-tenant campaign finishes in
+//! seconds at the default `FA_DATA_SCALE`.
+//!
+//! Every size is divided by the experiment's `data_scale` (with a floor so
+//! extreme scales never degenerate to empty kernels), mirroring how the
+//! Table 2 workloads scale.
+
+use crate::synthetic::{synthetic_app, SyntheticSpec};
+use fa_kernel::model::Application;
+
+/// Smallest data section a tenant template may shrink to (per direction).
+const MIN_BYTES: u64 = 4 << 10;
+/// Smallest instruction count a tenant template may shrink to.
+const MIN_INSTRUCTIONS: u64 = 10_000;
+
+fn scaled(bytes: u64, data_scale: u64) -> u64 {
+    (bytes / data_scale.max(1)).max(MIN_BYTES)
+}
+
+fn scaled_instr(instructions: u64, data_scale: u64) -> u64 {
+    (instructions / data_scale.max(1)).max(MIN_INSTRUCTIONS)
+}
+
+/// The named tenant shapes, in the order [`tenant_templates`] emits them.
+/// Arrival plans index templates modulo this list, so the order is part of
+/// the determinism contract.
+pub fn tenant_names() -> [&'static str; 3] {
+    ["tenant-read", "tenant-compute", "tenant-write"]
+}
+
+/// The spec behind each template at the given data scale, alongside its
+/// name. Exposed so tests can assert the shapes without rebuilding them.
+pub fn tenant_specs(data_scale: u64) -> Vec<(&'static str, SyntheticSpec)> {
+    vec![
+        // A scan: lots of flash input, little compute, small result.
+        (
+            "tenant-read",
+            SyntheticSpec {
+                instructions: scaled_instr(1_600_000, data_scale),
+                serial_fraction: 0.0,
+                input_bytes: scaled(2 << 20, data_scale),
+                output_bytes: scaled(256 << 10, data_scale),
+                ldst_ratio: 0.55,
+                mul_ratio: 0.05,
+                parallel_screens: 2,
+            },
+        ),
+        // A number-cruncher: modest I/O, the campaign's longest service time.
+        (
+            "tenant-compute",
+            SyntheticSpec {
+                instructions: scaled_instr(6_400_000, data_scale),
+                serial_fraction: 0.1,
+                input_bytes: scaled(512 << 10, data_scale),
+                output_bytes: scaled(128 << 10, data_scale),
+                ldst_ratio: 0.25,
+                mul_ratio: 0.30,
+                parallel_screens: 4,
+            },
+        ),
+        // A producer: flash programs dominate, the shape the QoS governor
+        // squeezes when it hogs the channel tags.
+        (
+            "tenant-write",
+            SyntheticSpec {
+                instructions: scaled_instr(1_600_000, data_scale),
+                serial_fraction: 0.0,
+                input_bytes: scaled(512 << 10, data_scale),
+                output_bytes: scaled(1 << 20, data_scale),
+                ldst_ratio: 0.50,
+                mul_ratio: 0.05,
+                parallel_screens: 2,
+            },
+        ),
+    ]
+}
+
+/// Builds the three tenant templates at the given data scale, in the fixed
+/// [`tenant_names`] order.
+pub fn tenant_templates(data_scale: u64) -> Vec<Application> {
+    tenant_specs(data_scale)
+        .iter()
+        .map(|(name, spec)| synthetic_app(name, spec))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_templates_in_the_contract_order() {
+        let apps = tenant_templates(16);
+        let names: Vec<&str> = apps.iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(names, tenant_names().to_vec());
+    }
+
+    #[test]
+    fn scaling_preserves_the_shape_ordering() {
+        for scale in [1u64, 16, 256, 4096] {
+            let specs = tenant_specs(scale);
+            let read = &specs[0].1;
+            let compute = &specs[1].1;
+            let write = &specs[2].1;
+            assert!(compute.instructions >= read.instructions, "scale {scale}");
+            assert!(
+                write.output_bytes >= write.input_bytes || write.output_bytes == MIN_BYTES,
+                "scale {scale}"
+            );
+            for (_, s) in &specs {
+                assert!(s.instructions >= MIN_INSTRUCTIONS);
+                assert!(s.input_bytes >= MIN_BYTES);
+                assert!(s.output_bytes >= MIN_BYTES);
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_scale_never_degenerates() {
+        let apps = tenant_templates(u64::MAX);
+        for app in &apps {
+            assert!(app.flash_bytes() >= 2 * MIN_BYTES, "{}", app.name);
+            assert!(app.kernels[0].instructions() > 0, "{}", app.name);
+        }
+    }
+}

@@ -23,8 +23,10 @@ use flashabacus_suite::fa_flash::{
 use flashabacus_suite::fa_platform::mem::Scratchpad;
 use flashabacus_suite::fa_platform::PlatformSpec;
 use flashabacus_suite::fa_sim::time::{SimDuration, SimTime};
-use flashabacus_suite::flashabacus::config::FlashAbacusConfig;
+use flashabacus_suite::flashabacus::config::{FlashAbacusConfig, GovernorConfig};
 use flashabacus_suite::flashabacus::freespace::PlacementPolicy;
+use flashabacus_suite::flashabacus::openloop::QosGovernor;
+use flashabacus_suite::flashabacus::rangelock::LockMode;
 use flashabacus_suite::flashabacus::scheduler::SchedulerPolicy;
 use flashabacus_suite::flashabacus::storengine::{GcVictimPolicy, Storengine};
 use flashabacus_suite::flashabacus::Flashvisor;
@@ -469,6 +471,144 @@ proptest! {
             check_invariants(&v, &shadow)?;
         }
         prop_assert!(successes > 0, "no operation ever succeeded");
+    }
+
+    /// Open-loop tenant walk: tenants arrive into a bounded set of
+    /// reusable logical slots, do attributed I/O under their range locks,
+    /// and depart mid-run — with slots reused by later tenants (groups
+    /// stay mapped across occupants, exactly like the open-loop engine's
+    /// slot model) — while the online QoS governor keeps retuning
+    /// per-tenant tag-budget overrides from the live owner stats. Every
+    /// incremental invariant must hold after every op: in particular the
+    /// no-leak check (slot reuse must never strand a group), the
+    /// occupied + free + reserved + retired partition, and the per-owner
+    /// attribution sum (budget overrides must never lose or double-count
+    /// a command) with tenants entering and leaving mid-run.
+    #[test]
+    fn open_loop_tenant_walks_preserve_every_invariant(
+        placement_pick in 0usize..3,
+        gc_pick in 0usize..3,
+        steps in 24usize..56,
+        seed in 0u64..u64::MAX,
+    ) {
+        let placement = PlacementPolicy::all()[placement_pick];
+        let gc_victim = GcVictimPolicy::all()[gc_pick];
+        let config = oracle_config(placement, gc_victim, Some(2));
+        let mut v = Flashvisor::new(config);
+        let mut s = Storengine::new(config);
+        let mut sp = Scratchpad::new(&PlatformSpec::paper_prototype());
+        let mut governor = QosGovernor::new(
+            GovernorConfig {
+                window: SimDuration::from_us(100),
+                min_budget: 1,
+                max_budget: 8,
+            },
+            SimTime::ZERO,
+        );
+        // Four reusable slots of four groups each — small enough that the
+        // walk cycles tenants through every slot several times.
+        const SLOTS: u64 = 4;
+        const SLOT_GROUPS: u64 = 4;
+        let group_bytes = config.page_group_bytes;
+        let slot_bytes = SLOT_GROUPS * group_bytes;
+        let mut slot_owner: [Option<u32>; SLOTS as usize] = [None; SLOTS as usize];
+        let mut next_tenant = 0u32;
+        let mut active: BTreeSet<u32> = BTreeSet::new();
+        let total_groups = config.total_page_groups();
+        let mut shadow = vec![0u32; total_groups as usize];
+        let (mut arrivals, mut departures, mut ticks, mut io_ok) = (0u32, 0u32, 0u32, 0u32);
+
+        let mut rng = seed;
+        let mut t_us = 1u64;
+        check_invariants(&v, &shadow)?;
+        for _ in 0..steps {
+            t_us += 37;
+            let now = SimTime::from_us(t_us);
+            match splitmix64(&mut rng) % 8 {
+                // Arrival into a free slot: preload maps whatever the slot's
+                // previous occupants left unmapped, the range lock registers
+                // the new owner. Exhaustion mid-preload is tolerated — the
+                // invariants must hold especially then.
+                0..=1 => {
+                    let free = (0..SLOTS as usize).find(|&i| slot_owner[i].is_none());
+                    if let Some(slot) = free {
+                        let base = slot as u64 * slot_bytes;
+                        if v.preload_range(base, slot_bytes).is_ok()
+                            && v.map_section(base, slot_bytes, LockMode::Write, next_tenant).is_ok()
+                        {
+                            slot_owner[slot] = Some(next_tenant);
+                            active.insert(next_tenant);
+                            arrivals += 1;
+                            next_tenant += 1;
+                        }
+                    }
+                }
+                // Attributed tenant I/O inside its slot (the range lock
+                // routes the commands to OwnerId::Kernel(tenant)). Writes
+                // feed the shadow overwrite ledger like every other walk.
+                2..=4 => {
+                    let slot = (splitmix64(&mut rng) % SLOTS) as usize;
+                    if slot_owner[slot].is_some() {
+                        let base = slot as u64 * slot_bytes;
+                        let off = splitmix64(&mut rng) % SLOT_GROUPS;
+                        let groups = 1 + splitmix64(&mut rng) % (SLOT_GROUPS - off).max(1);
+                        let start = base + off * group_bytes;
+                        if splitmix64(&mut rng) % 2 == 0 {
+                            let lg0 = start / group_bytes;
+                            let mapped_before: Vec<u64> = (lg0..lg0 + groups)
+                                .filter(|g| v.physical_group_of(*g).is_some())
+                                .collect();
+                            if v.write_section(now, start, groups * group_bytes, &mut sp).is_ok() {
+                                io_ok += 1;
+                                for g in mapped_before {
+                                    shadow[g as usize] += 1;
+                                }
+                            } else {
+                                for g in lg0..lg0 + groups {
+                                    shadow[g as usize] = v.overwrite_count(g);
+                                }
+                            }
+                        } else if v.read_section(now, start, groups * group_bytes, &mut sp).is_ok() {
+                            io_ok += 1;
+                        }
+                    }
+                }
+                // Departure: the lock is released and the governor clears
+                // the tenant's budget override — but the slot's groups stay
+                // mapped for the next occupant (no trim path exists).
+                5 => {
+                    let slot = (splitmix64(&mut rng) % SLOTS) as usize;
+                    if let Some(owner) = slot_owner[slot].take() {
+                        v.unmap_owner(owner);
+                        governor.retire(owner, v.backbone_mut());
+                        active.remove(&owner);
+                        departures += 1;
+                    }
+                }
+                // A governor tick over whoever is active right now.
+                6 => {
+                    governor.rebalance(&active, v.backbone_mut());
+                    ticks += 1;
+                }
+                // Background storage work keeps running underneath.
+                _ => {
+                    if splitmix64(&mut rng) % 3 == 0 {
+                        let _ = s.journal(now, &mut v);
+                    } else {
+                        let passes = 1 + splitmix64(&mut rng) % 3;
+                        for _ in 0..passes {
+                            let _ = s.collect_garbage(now, &mut v);
+                        }
+                    }
+                }
+            }
+            check_invariants(&v, &shadow)?;
+        }
+        // The walk must actually exercise the churn: tenants came and went,
+        // the governor ticked, and attributed I/O landed.
+        prop_assert!(arrivals > 0, "no tenant ever arrived");
+        prop_assert!(arrivals >= departures, "more departures than arrivals");
+        prop_assert!(ticks > 0 || io_ok > 0 || departures > 0, "inert walk");
     }
 
     /// Crash-recovery oracle: at an arbitrary cut point in a random walk,
